@@ -1,0 +1,86 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper at a reduced
+(but structurally faithful) scale, prints the resulting table, and persists
+it under ``benchmarks/results/`` so the numbers survive pytest's output
+capture.  Set ``REPRO_BENCH_PROFILE=full`` for the larger profile.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.trainer import TrainConfig
+from repro.eval import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+PROFILES = {
+    "quick": dict(
+        scale="tiny",
+        list_length=12,
+        num_train_requests=300,
+        num_test_requests=80,
+        ranker_interactions=1200,
+        hidden=8,
+        epochs=4,
+    ),
+    "small": dict(
+        scale="small",
+        list_length=15,
+        num_train_requests=1200,
+        num_test_requests=150,
+        ranker_interactions=2000,
+        hidden=16,
+        epochs=8,
+    ),
+    "full": dict(
+        scale="full",
+        list_length=20,
+        num_train_requests=3000,
+        num_test_requests=300,
+        ranker_interactions=4000,
+        hidden=16,
+        epochs=10,
+    ),
+}
+
+
+def active_profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "small")
+
+
+def experiment_config(
+    dataset: str,
+    tradeoff: float = 0.5,
+    initial_ranker: str = "din",
+    eval_mode: str = "expected",
+    seed: int = 0,
+    **overrides,
+) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from the active bench profile."""
+    profile = dict(PROFILES[active_profile()])
+    profile.update(overrides)
+    epochs = profile.pop("epochs")
+    return ExperimentConfig(
+        dataset=dataset,
+        scale=profile["scale"],
+        tradeoff=tradeoff,
+        initial_ranker=initial_ranker,
+        list_length=profile["list_length"],
+        num_train_requests=profile["num_train_requests"],
+        num_test_requests=profile["num_test_requests"],
+        ranker_interactions=profile["ranker_interactions"],
+        hidden=profile["hidden"],
+        eval_mode=eval_mode,
+        train=TrainConfig(epochs=epochs, batch_size=64, seed=seed),
+        seed=seed,
+    )
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced table and persist it to benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

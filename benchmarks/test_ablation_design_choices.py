@@ -1,0 +1,125 @@
+"""Ablation benches for the two design choices documented in DESIGN.md.
+
+1. **Marginal-diversity mode** — the analysis-consistent *sequential*
+   incremental coverage (our default) vs the literal leave-one-out Eq. 5,
+   which degenerates to ~0 when every topic is covered multiple times per
+   list.  Expectation: sequential >= leave-one-out on utility, and the
+   learned theta tracks the ground-truth preference only in sequential
+   mode.
+
+2. **Training-label censoring** — full-information attraction labels (our
+   default) vs realistic censored DCM sessions.  Expectation: with
+   censored labels at this scale, the learned re-ranker loses most of its
+   edge over the initial ranking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import RapidConfig, RapidReranker
+from repro.data import build_batch
+from repro.eval import evaluate_reranker, format_table, prepare_bundle
+from repro.utils.rng import make_rng
+
+from bench_utils import experiment_config, publish
+
+
+def _theta_correlation(reranker, bundle) -> float:
+    batch = build_batch(
+        bundle.test_requests,
+        bundle.world.catalog,
+        bundle.world.population,
+        bundle.histories,
+    )
+    theta_hat = reranker.model.preference_distribution(batch)
+    theta_star = bundle.world.population.topic_preference[batch.user_ids]
+    rows = [
+        np.corrcoef(theta_hat[i], theta_star[i])[0, 1]
+        for i in range(len(theta_hat))
+        if theta_star[i].std() > 0
+    ]
+    return float(np.nanmean(rows))
+
+
+def _run_marginal_mode() -> str:
+    config = experiment_config("taobao", tradeoff=0.5)
+    bundle = prepare_bundle(config)
+    world = bundle.world
+    table = {}
+    for mode in ("sequential", "leave_one_out"):
+        rapid_config = RapidConfig(
+            user_dim=world.population.feature_dim,
+            item_dim=world.catalog.feature_dim,
+            num_topics=world.catalog.num_topics,
+            hidden=config.hidden,
+            marginal_mode=mode,
+        )
+        reranker = RapidReranker(rapid_config, "rapid-pro", config.train)
+        reranker.fit(
+            bundle.train_requests, world.catalog, world.population, bundle.histories
+        )
+        result = evaluate_reranker(reranker, bundle)
+        table[mode] = {
+            "click@5": result["click@5"],
+            "div@5": result["div@5"],
+            "click@10": result["click@10"],
+            "div@10": result["div@10"],
+            "corr(theta,theta*)": _theta_correlation(reranker, bundle),
+        }
+    return format_table(
+        table, title="Ablation: marginal diversity mode (Taobao, lambda=0.5)"
+    )
+
+
+def _run_label_censoring() -> str:
+    config = experiment_config("taobao", tradeoff=0.5)
+    bundle = prepare_bundle(config)
+    world = bundle.world
+    rng = make_rng(config.seed + 99)
+
+    # Re-simulate the training labels as realistic censored sessions.
+    censored_requests = [
+        dataclasses.replace(
+            request,
+            clicks=bundle.click_model.simulate(
+                request.user_id, request.items, rng, full_information=False
+            ),
+            fully_observed=False,
+        )
+        for request in bundle.train_requests
+    ]
+
+    table = {"init": evaluate_reranker(None, bundle).metrics}
+    for label, requests in (
+        ("full-information", bundle.train_requests),
+        ("censored-sessions", censored_requests),
+    ):
+        rapid_config = RapidConfig(
+            user_dim=world.population.feature_dim,
+            item_dim=world.catalog.feature_dim,
+            num_topics=world.catalog.num_topics,
+            hidden=config.hidden,
+        )
+        reranker = RapidReranker(rapid_config, "rapid-pro", config.train)
+        reranker.fit(requests, world.catalog, world.population, bundle.histories)
+        table[label] = evaluate_reranker(reranker, bundle).metrics
+    return format_table(
+        table,
+        columns=["click@5", "ndcg@5", "div@5", "click@10"],
+        title="Ablation: training-label censoring (Taobao, lambda=0.5)",
+    )
+
+
+def test_ablation_marginal_mode(benchmark):
+    text = benchmark.pedantic(_run_marginal_mode, rounds=1, iterations=1)
+    publish("ablation_marginal_mode", text)
+    assert "sequential" in text
+
+
+def test_ablation_label_censoring(benchmark):
+    text = benchmark.pedantic(_run_label_censoring, rounds=1, iterations=1)
+    publish("ablation_label_censoring", text)
+    assert "censored-sessions" in text

@@ -1,0 +1,52 @@
+"""Extension bench — exploration policies for linear RAPID.
+
+Compares the Theorem 5.1 UCB learner against epsilon-greedy and linear
+Thompson sampling in the same linear DCM environment.  Expected shape: all
+three are sublinear; UCB and Thompson converge to a near-zero per-round
+gap, while epsilon-greedy pays a persistent exploration tax proportional
+to epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_series
+from repro.theory import compare_explorers
+
+from bench_utils import publish
+
+CHECKPOINTS = (100, 300, 600, 1200)
+
+
+def _run() -> str:
+    results = compare_explorers(horizon=max(CHECKPOINTS), seed=0)
+    series = {
+        name: [float(result.raw_regret[n - 1]) for n in CHECKPOINTS]
+        for name, result in results.items()
+    }
+    late_gap = {
+        name: float(
+            (result.per_round_oracle - result.per_round_learner)[-300:].mean()
+        )
+        for name, result in results.items()
+    }
+    text = format_series(
+        series,
+        x_label="n",
+        x_values=list(CHECKPOINTS),
+        title=(
+            "Explorer comparison, cumulative raw regret "
+            f"(late per-round gap: "
+            + ", ".join(f"{k}={v:.4f}" for k, v in late_gap.items())
+            + ")"
+        ),
+        precision=2,
+    )
+    return text
+
+
+def test_extension_explorers(benchmark):
+    text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("extension_explorers", text)
+    assert "ucb" in text

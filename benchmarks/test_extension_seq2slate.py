@@ -1,0 +1,34 @@
+"""Extension bench — Seq2Slate pointer network vs the paper's zoo.
+
+Seq2Slate (Bello et al. 2019) is cited in the paper's related work but not
+evaluated; this bench slots it into the Table II protocol on Taobao at
+lambda = 0.5.  Expected shape: strong click@10 (sequential generation
+optimizes whole-list placement), weaker top-5 precision than the scoring
+models, no personalized diversity.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table, prepare_bundle, run_experiment
+
+from bench_utils import experiment_config, publish
+
+MODELS = ("init", "prm", "seq2slate", "rapid-pro")
+
+
+def _run() -> str:
+    config = experiment_config("taobao", tradeoff=0.5)
+    bundle = prepare_bundle(config)
+    results = run_experiment(config, MODELS, bundle=bundle)
+    table = {name: result.metrics for name, result in results.items()}
+    return format_table(
+        table,
+        columns=["click@5", "ndcg@5", "div@5", "click@10", "div@10"],
+        title="Extension: Seq2Slate vs PRM vs RAPID (Taobao, lambda=0.5)",
+    )
+
+
+def test_extension_seq2slate(benchmark):
+    text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("extension_seq2slate", text)
+    assert "seq2slate" in text

@@ -1,0 +1,48 @@
+"""Figure 4 — hyper-parameter study over the hidden size q_h.
+
+Sweeps RAPID's hidden size over {8, 16, 32, 64} at lambda = 0.9 and reports
+click@10 / div@10.  Expected shape (paper): utility generally improves with
+capacity before overfitting sets in, while diversity drifts the other way —
+the relevance-diversity tradeoff made visible through capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.eval import evaluate_reranker, format_series, make_reranker, prepare_bundle
+
+from bench_utils import experiment_config, publish
+
+HIDDEN_SIZES = (8, 16, 32, 64)
+
+
+def _run() -> str:
+    config = experiment_config("taobao", tradeoff=0.9)
+    bundle = prepare_bundle(config)
+    clicks, divs = [], []
+    for hidden in HIDDEN_SIZES:
+        bundle.config = dataclasses.replace(config, hidden=hidden)
+        reranker = make_reranker("rapid-pro", bundle)
+        reranker.fit(
+            bundle.train_requests,
+            bundle.world.catalog,
+            bundle.world.population,
+            bundle.histories,
+        )
+        result = evaluate_reranker(reranker, bundle)
+        clicks.append(result["click@10"])
+        divs.append(result["div@10"])
+    bundle.config = config
+    return format_series(
+        {"click@10": clicks, "div@10": divs},
+        x_label="hidden",
+        x_values=list(HIDDEN_SIZES),
+        title="Figure 4 (hidden size sweep, Taobao, lambda=0.9)",
+    )
+
+
+def test_fig4_hidden_size(benchmark):
+    text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig4_hidden_size", text)
+    assert "click@10" in text

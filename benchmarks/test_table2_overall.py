@@ -1,0 +1,53 @@
+"""Table II — overall performance on Taobao and MovieLens.
+
+Reproduces, per DCM tradeoff lambda in {0.5, 0.9, 1.0}, the comparison of
+Init, the four relevance-oriented re-rankers, the four diversity-aware
+re-rankers, the two personalized-diversity baselines, and RAPID-det/pro on
+click@k / ndcg@k / div@k / satis@k.
+
+Expected shape (paper): all neural re-rankers beat Init on utility; DPP has
+the highest div@k at a utility cost; RAPID attains the best utility with
+diversity above the relevance-only group; RAPID's div edge over PRM shrinks
+as lambda -> 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import DEFAULT_MODELS, format_table, prepare_bundle, run_experiment
+
+from bench_utils import experiment_config, publish
+
+UTILITY_COLUMNS = [
+    "click@5",
+    "ndcg@5",
+    "div@5",
+    "satis@5",
+    "click@10",
+    "ndcg@10",
+    "div@10",
+    "satis@10",
+]
+
+
+def _run_cell(dataset: str, tradeoff: float) -> str:
+    config = experiment_config(dataset, tradeoff=tradeoff)
+    bundle = prepare_bundle(config)
+    results = run_experiment(config, DEFAULT_MODELS, bundle=bundle)
+    table = {name: result.metrics for name, result in results.items()}
+    return format_table(
+        table,
+        columns=UTILITY_COLUMNS,
+        title=f"Table II ({dataset}, lambda={tradeoff})",
+    )
+
+
+@pytest.mark.parametrize("tradeoff", [0.5, 0.9, 1.0])
+@pytest.mark.parametrize("dataset", ["taobao", "movielens"])
+def test_table2(benchmark, dataset, tradeoff):
+    text = benchmark.pedantic(
+        _run_cell, args=(dataset, tradeoff), rounds=1, iterations=1
+    )
+    publish(f"table2_{dataset}_lambda{tradeoff}", text)
+    assert "rapid-pro" in text

@@ -1,0 +1,37 @@
+"""Table III — overall performance on the App Store dataset.
+
+Logged-click replay evaluation with rev@k as the headline utility metric
+(bid-weighted clicks).  Expected shape: re-rankers beat Init; DPP leads
+div@k with a utility cost; RAPID attains the best rev@k and click@k.
+"""
+
+from __future__ import annotations
+
+from repro.eval import DEFAULT_MODELS, format_table, prepare_bundle, run_experiment
+
+from bench_utils import experiment_config, publish
+
+COLUMNS = [
+    "click@5",
+    "ndcg@5",
+    "div@5",
+    "rev@5",
+    "click@10",
+    "ndcg@10",
+    "div@10",
+    "rev@10",
+]
+
+
+def _run() -> str:
+    config = experiment_config("appstore", eval_mode="logged")
+    bundle = prepare_bundle(config)
+    results = run_experiment(config, DEFAULT_MODELS, bundle=bundle)
+    table = {name: result.metrics for name, result in results.items()}
+    return format_table(table, columns=COLUMNS, title="Table III (App Store)")
+
+
+def test_table3(benchmark):
+    text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("table3_appstore", text)
+    assert "rev@5" in text

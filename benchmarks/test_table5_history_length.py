@@ -1,0 +1,47 @@
+"""Table V — maximum per-topic behavior-sequence length D on App Store.
+
+Sweeps D over {3, 5, 10}.  Expected shape (paper): D = 5 is the sweet spot;
+too little history starves the personalized diversity estimator, too much
+introduces noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.eval import evaluate_reranker, format_table, make_reranker, prepare_bundle
+
+from bench_utils import experiment_config, publish
+
+LENGTHS = (3, 5, 10)
+COLUMNS = ["click@5", "ndcg@5", "div@5", "rev@5", "click@10", "div@10", "rev@10"]
+
+
+def _run() -> str:
+    config = experiment_config("appstore", eval_mode="logged")
+    bundle = prepare_bundle(config)
+    table = {}
+    for history_length in LENGTHS:
+        train = dataclasses.replace(
+            config.train, topic_history_length=history_length
+        )
+        bundle.config = dataclasses.replace(config, train=train)
+        reranker = make_reranker("rapid-pro", bundle)
+        reranker.fit(
+            bundle.train_requests,
+            bundle.world.catalog,
+            bundle.world.population,
+            bundle.histories,
+        )
+        result = evaluate_reranker(reranker, bundle)
+        table[f"RAPID-{history_length}"] = result.metrics
+    bundle.config = config
+    return format_table(
+        table, columns=COLUMNS, title="Table V (history length D, App Store)"
+    )
+
+
+def test_table5_history_length(benchmark):
+    text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("table5_history_length", text)
+    assert "RAPID-5" in text

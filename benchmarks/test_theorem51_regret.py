@@ -1,0 +1,52 @@
+"""Theorem 5.1 — the O~(sqrt(n)) regret of linear RAPID.
+
+Runs the LinUCB-style linear RAPID against the linear DCM environment and
+reports the cumulative regret at geometric checkpoints together with the
+theorem's bound.  Reproduction checks: (i) the raw regret is sublinear
+(per-round regret shrinks), (ii) the gamma-scaled regret stays below the
+theoretical bound, (iii) regret/sqrt(n) flattens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_series
+from repro.theory import run_regret_experiment
+
+from bench_utils import publish
+
+CHECKPOINTS = (100, 250, 500, 1000, 2000)
+
+
+def _run() -> str:
+    result = run_regret_experiment(horizon=max(CHECKPOINTS), seed=0, exploration=0.5)
+    raw = [float(result.raw_regret[n - 1]) for n in CHECKPOINTS]
+    scaled = [float(result.cumulative_regret[n - 1]) for n in CHECKPOINTS]
+    bound = [float(result.bound[n - 1]) for n in CHECKPOINTS]
+    per_sqrt = [r / np.sqrt(n) for r, n in zip(raw, CHECKPOINTS)]
+    text = format_series(
+        {
+            "raw regret": raw,
+            "raw/sqrt(n)": per_sqrt,
+            "scaled (Eq.12)": scaled,
+            "Thm 5.1 bound": bound,
+        },
+        x_label="n",
+        x_values=list(CHECKPOINTS),
+        title=(
+            f"Theorem 5.1 regret (gamma={result.gamma:.3f}, "
+            f"s={result.exploration:.2f}, sublinearity="
+            f"{result.sublinearity_ratio():.3f})"
+        ),
+        precision=2,
+    )
+    assert (result.cumulative_regret <= result.bound).all()
+    assert result.sublinearity_ratio() < 1.0
+    return text
+
+
+def test_theorem51_regret(benchmark):
+    text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("theorem51_regret", text)
+    assert "Thm 5.1 bound" in text

@@ -1,0 +1,61 @@
+"""Revenue-oriented re-ranking on the App Store-like dataset.
+
+Apps carry bid prices and one-hot categories; clicks are logged by the
+production-like behavior model and evaluation replays them (no click model
+at eval time, matching the paper's Table III protocol).  The headline
+metric is rev@k — bid-weighted clicks.
+
+Run:  python examples/app_store_revenue.py
+"""
+
+from __future__ import annotations
+
+from repro.core.trainer import TrainConfig
+from repro.eval import (
+    ExperimentConfig,
+    format_table,
+    prepare_bundle,
+    run_experiment,
+)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="appstore",
+        scale="small",
+        list_length=15,
+        num_train_requests=1000,
+        num_test_requests=150,
+        ranker_interactions=2000,
+        hidden=16,
+        eval_mode="logged",
+        train=TrainConfig(epochs=8, batch_size=64),
+        seed=0,
+    )
+    print("Preparing the App Store-like world (one-hot categories, bids)...")
+    bundle = prepare_bundle(config)
+
+    models = ["init", "prm", "dpp", "rapid-det", "rapid-pro"]
+    print(f"Training and evaluating: {', '.join(models)} ...")
+    results = run_experiment(config, models, bundle=bundle)
+    table = {name: result.metrics for name, result in results.items()}
+
+    print()
+    print(
+        format_table(
+            table,
+            columns=["click@5", "rev@5", "div@5", "click@10", "rev@10", "div@10"],
+            title="App Store revenue comparison (logged-click replay)",
+        )
+    )
+    init_rev = results["init"]["rev@5"]
+    rapid_rev = results["rapid-pro"]["rev@5"]
+    print()
+    print(
+        f"RAPID-pro lifts rev@5 by {100 * (rapid_rev / init_rev - 1):+.2f}% "
+        "over the production initial ranking."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""E-commerce re-ranking: the Taobao-like pipeline with a model comparison.
+
+Reproduces the paper's motivating scenario (Sec. I): a purely
+relevance-oriented re-ranker (PRM), a diversity-only re-ranker (DPP), and
+RAPID's personalized diversification, compared on utility and diversity
+under a click model where half of each click's probability comes from the
+user's *personal* appetite for topical novelty.
+
+Run:  python examples/ecommerce_reranking.py
+"""
+
+from __future__ import annotations
+
+from repro.core.trainer import TrainConfig
+from repro.eval import (
+    ExperimentConfig,
+    format_table,
+    prepare_bundle,
+    run_experiment,
+)
+from repro.metrics import is_significant_improvement
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="taobao",
+        scale="small",
+        tradeoff=0.5,
+        list_length=15,
+        num_train_requests=1000,
+        num_test_requests=150,
+        ranker_interactions=2000,
+        hidden=16,
+        train=TrainConfig(epochs=8, batch_size=64),
+        seed=0,
+    )
+    print("Preparing the Taobao-like world (5 GMM topics, soft coverage)...")
+    bundle = prepare_bundle(config)
+
+    models = ["init", "prm", "mmr", "dpp", "adpmmr", "rapid-pro"]
+    print(f"Training and evaluating: {', '.join(models)} ...")
+    results = run_experiment(config, models, bundle=bundle)
+
+    table = {name: result.metrics for name, result in results.items()}
+    print()
+    print(
+        format_table(
+            table,
+            columns=["click@5", "ndcg@5", "div@5", "satis@5", "click@10", "div@10"],
+            title="E-commerce re-ranking comparison (lambda = 0.5)",
+        )
+    )
+
+    significant = is_significant_improvement(
+        results["rapid-pro"].per_request_clicks[5],
+        results["prm"].per_request_clicks[5],
+    )
+    print()
+    print(
+        "RAPID vs PRM click@5 improvement "
+        f"{'IS' if significant else 'is NOT'} statistically significant "
+        "(paired t-test, p < 0.05)."
+    )
+    print(
+        "Expected shape: PRM lifts utility but not diversity; DPP lifts "
+        "diversity at a utility cost; RAPID leads utility while staying "
+        "more diverse than PRM."
+    )
+
+
+if __name__ == "__main__":
+    main()

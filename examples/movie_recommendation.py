@@ -1,0 +1,99 @@
+"""Movie recommendation with per-user diversity (the Figure 5 case study).
+
+Trains RAPID on the MovieLens-like dataset (multi-hot genre coverage) and
+then contrasts how it treats a *diverse-taste* user and a *focused-taste*
+user: the learned preference distribution theta_hat, the genres in each
+user's history, and the genres RAPID actually recommends.
+
+Run:  python examples/movie_recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trainer import TrainConfig
+from repro.data import build_batch
+from repro.eval import ExperimentConfig, make_reranker, prepare_bundle
+from repro.metrics import topic_coverage
+
+
+def _bar(weight: float, width: int = 30) -> str:
+    filled = int(round(weight * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="movielens",
+        scale="small",
+        tradeoff=0.5,
+        list_length=15,
+        num_train_requests=1000,
+        num_test_requests=150,
+        ranker_interactions=2000,
+        hidden=16,
+        train=TrainConfig(epochs=8, batch_size=64),
+        seed=0,
+    )
+    print("Preparing the MovieLens-like world (multi-hot genres)...")
+    bundle = prepare_bundle(config)
+    world = bundle.world
+
+    print("Training RAPID...")
+    rapid = make_reranker("rapid-pro", bundle)
+    rapid.fit(
+        bundle.train_requests, world.catalog, world.population, bundle.histories
+    )
+
+    batch = build_batch(
+        bundle.test_requests, world.catalog, world.population, bundle.histories
+    )
+    permutations = rapid.rerank(batch)
+    theta = rapid.model.preference_distribution(batch)
+
+    # Select users by the observable genre entropy of their history.
+    entropies = []
+    for request in bundle.test_requests:
+        mass = world.catalog.coverage[bundle.histories[request.user_id]].sum(axis=0)
+        dist = mass / mass.sum()
+        entropies.append(float(-(dist * np.log(dist + 1e-12)).sum()))
+    entropies = np.asarray(entropies)
+
+    for label, row in (
+        ("DIVERSE-TASTE USER", int(np.argmax(entropies))),
+        ("FOCUSED-TASTE USER", int(np.argmin(entropies))),
+    ):
+        request = bundle.test_requests[row]
+        history = bundle.histories[request.user_id]
+        history_mass = world.catalog.coverage[history].sum(axis=0)
+        history_dist = history_mass / history_mass.sum()
+        top_items = request.items[permutations[row][:5]]
+        recommended = topic_coverage(world.catalog.coverage[top_items])
+
+        print()
+        print(
+            f"=== {label} (user {request.user_id}, history genre entropy "
+            f"{entropies[row]:.2f}) ==="
+        )
+        print(f"{'genre':>8} {'history':>9}  {'theta_hat':>9}  profile")
+        for genre in range(world.catalog.num_topics):
+            print(
+                f"{genre:>8} {history_dist[genre]:>9.3f}  "
+                f"{theta[row][genre]:>9.3f}  {_bar(history_dist[genre])}"
+            )
+        print(
+            f"RAPID top-5 covers {recommended.sum():.2f} genres "
+            f"(per-genre coverage {np.round(recommended, 2)})"
+        )
+
+    print()
+    print(
+        "Expected shape: the diverse user's recommendations span many "
+        "genres; the focused user's list concentrates on their dominant "
+        "genre — diversification is personalized, not uniform."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: train RAPID and re-rank one request in ~30 seconds.
+
+Builds a small Taobao-like world, trains a DIN initial ranker, simulates
+clicks with the Dependent Click Model, trains RAPID end-to-end, and shows
+how the re-ranked list differs from the initial one for a single user.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trainer import TrainConfig
+from repro.data import build_batch
+from repro.eval import (
+    ExperimentConfig,
+    evaluate_reranker,
+    make_reranker,
+    prepare_bundle,
+)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="taobao",
+        scale="tiny",
+        tradeoff=0.5,  # clicks depend on relevance AND personal diversity
+        list_length=12,
+        num_train_requests=400,
+        num_test_requests=80,
+        ranker_interactions=1500,
+        hidden=8,
+        train=TrainConfig(epochs=6, batch_size=32),
+        seed=0,
+    )
+
+    print("1. Building the world, initial ranker, and click-labeled requests...")
+    bundle = prepare_bundle(config)
+
+    print("2. Training RAPID (probabilistic head, Bi-LSTM relevance)...")
+    rapid = make_reranker("rapid-pro", bundle)
+    rapid.fit(
+        bundle.train_requests,
+        bundle.world.catalog,
+        bundle.world.population,
+        bundle.histories,
+    )
+    print(f"   epoch losses: {[round(l, 4) for l in rapid.training_losses]}")
+
+    print("3. Evaluating on held-out requests (DCM expected metrics)...")
+    init_result = evaluate_reranker(None, bundle)
+    rapid_result = evaluate_reranker(rapid, bundle)
+    for metric in ("click@5", "ndcg@5", "div@5", "satis@5"):
+        print(
+            f"   {metric}: init {init_result[metric]:.4f}  ->  "
+            f"rapid {rapid_result[metric]:.4f}"
+        )
+
+    print("4. Re-ranking a single request:")
+    request = bundle.test_requests[0]
+    batch = build_batch(
+        [request],
+        bundle.world.catalog,
+        bundle.world.population,
+        bundle.histories,
+    )
+    permutation = rapid.rerank(batch)[0]
+    theta = rapid.model.preference_distribution(batch)[0]
+    dominant = bundle.world.catalog.dominant_topics()
+    print(f"   user {request.user_id} learned topic preference: {np.round(theta, 3)}")
+    print(f"   initial order  (topics): {dominant[request.items].tolist()}")
+    print(
+        f"   re-ranked order (topics): "
+        f"{dominant[request.items[permutation]].tolist()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

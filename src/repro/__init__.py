@@ -1,0 +1,20 @@
+"""Reproduction of "Personalized Diversification for Neural Re-ranking in
+Recommendation" (RAPID, ICDE 2023).
+
+Public API highlights
+---------------------
+- :mod:`repro.core` — the RAPID model (deterministic & probabilistic heads)
+  and its trainer.
+- :mod:`repro.rerank` — the ten baseline re-rankers of the paper.
+- :mod:`repro.rankers` — DIN / SVMRank / LambdaMART initial rankers.
+- :mod:`repro.data` — synthetic Taobao / MovieLens / App Store dataset
+  builders (see DESIGN.md for the substitution rationale).
+- :mod:`repro.click` — the Dependent Click Model simulator/estimator.
+- :mod:`repro.metrics` — click@k, ndcg@k, div@k, satis@k, rev@k.
+- :mod:`repro.theory` — linear RAPID bandit + regret analysis (Theorem 5.1).
+- :mod:`repro.nn` — the from-scratch autograd / neural-net substrate.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

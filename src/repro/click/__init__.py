@@ -1,0 +1,24 @@
+"""Click-model substrate: the Dependent Click Model (simulate / score / fit)."""
+
+from .base import ClickModel
+from .cascade import CascadeClickModel, PositionBasedModel
+from .dcm import (
+    DependentClickModel,
+    FittedDCM,
+    coverage_gain,
+    expected_clicks_curve,
+    fit_dcm,
+    satisfaction_probability,
+)
+
+__all__ = [
+    "CascadeClickModel",
+    "ClickModel",
+    "DependentClickModel",
+    "PositionBasedModel",
+    "FittedDCM",
+    "coverage_gain",
+    "expected_clicks_curve",
+    "fit_dcm",
+    "satisfaction_probability",
+]

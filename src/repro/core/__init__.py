@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the RAPID model and its trainer."""
+
+from .coverage import (
+    incremental_coverage,
+    incremental_gain,
+    log_coverage,
+    marginal_diversity,
+    probabilistic_coverage,
+    saturating_coverage,
+)
+from .diversity import PersonalizedDiversityEstimator
+from .heads import DeterministicHead, ProbabilisticHead
+from .rapid import RAPID_VARIANTS, RapidConfig, RapidModel, make_rapid_variant
+from .relevance import ListwiseRelevanceEstimator
+from .trainer import RapidReranker, TrainConfig, train_rapid
+
+__all__ = [
+    "DeterministicHead",
+    "ListwiseRelevanceEstimator",
+    "PersonalizedDiversityEstimator",
+    "ProbabilisticHead",
+    "RAPID_VARIANTS",
+    "RapidConfig",
+    "RapidModel",
+    "RapidReranker",
+    "TrainConfig",
+    "incremental_coverage",
+    "incremental_gain",
+    "log_coverage",
+    "make_rapid_variant",
+    "marginal_diversity",
+    "probabilistic_coverage",
+    "saturating_coverage",
+    "train_rapid",
+]

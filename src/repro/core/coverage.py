@@ -1,0 +1,149 @@
+"""Submodular coverage math for diversity (paper Eq. 4-5).
+
+- ``probabilistic_coverage``: ``c_j(G) = 1 - prod_{v in G}(1 - tau_v^j)`` —
+  the probability at least one item of ``G`` covers topic ``j``.  This is a
+  monotone submodular set function (verified property-based in the tests).
+- ``marginal_diversity``: ``d_R(R(i)) = c(R) - c(R \\ {R(i)})`` for every
+  item simultaneously, computed with prefix/suffix products so items with
+  ``tau = 1`` are handled exactly (no division by zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "probabilistic_coverage",
+    "marginal_diversity",
+    "incremental_coverage",
+    "saturating_coverage",
+    "log_coverage",
+    "incremental_gain",
+]
+
+
+def probabilistic_coverage(coverage: np.ndarray) -> np.ndarray:
+    """Coverage ``c(G)`` of an item set/list.
+
+    Parameters
+    ----------
+    coverage:
+        (..., L, m) topic-coverage rows; the L axis is reduced.
+
+    Returns
+    -------
+    (..., m) per-topic coverage probabilities.
+    """
+    coverage = np.asarray(coverage, dtype=np.float64)
+    return 1.0 - np.prod(1.0 - coverage, axis=-2)
+
+
+def marginal_diversity(coverage: np.ndarray) -> np.ndarray:
+    """Leave-one-out marginal diversity of every item in the list (Eq. 5).
+
+    For item ``i`` and topic ``j``:
+    ``d[i, j] = tau[i, j] * prod_{k != i} (1 - tau[k, j])`` — the probability
+    that ``i`` covers ``j`` while no other candidate does.  Uses exclusive
+    prefix/suffix products so ``tau = 1`` entries are exact.
+
+    Parameters
+    ----------
+    coverage:
+        (..., L, m) coverage of the candidate list.
+
+    Returns
+    -------
+    (..., L, m) marginal diversity in [0, 1].
+    """
+    coverage = np.asarray(coverage, dtype=np.float64)
+    complement = 1.0 - coverage
+    ones_shape = list(complement.shape)
+    ones_shape[-2] = 1
+    ones = np.ones(ones_shape)
+    # prefix[i] = prod_{k < i} complement[k]; suffix[i] = prod_{k > i}.
+    prefix = np.concatenate(
+        [ones, np.cumprod(complement, axis=-2)[..., :-1, :]], axis=-2
+    )
+    reversed_comp = complement[..., ::-1, :]
+    suffix = np.concatenate(
+        [ones, np.cumprod(reversed_comp, axis=-2)[..., :-1, :]], axis=-2
+    )[..., ::-1, :]
+    return coverage * prefix * suffix
+
+
+def incremental_coverage(coverage: np.ndarray) -> np.ndarray:
+    """Sequential coverage gain ``c(S_{1:k}) - c(S_{1:k-1})`` per position.
+
+    Equals the DCM diversity feature ``zeta`` and the greedy-oracle gain.
+    """
+    coverage = np.asarray(coverage, dtype=np.float64)
+    complement = 1.0 - coverage
+    ones_shape = list(complement.shape)
+    ones_shape[-2] = 1
+    prefix = np.concatenate(
+        [np.ones(ones_shape), np.cumprod(complement, axis=-2)[..., :-1, :]],
+        axis=-2,
+    )
+    return coverage * prefix
+
+
+# ----------------------------------------------------------------------
+# Alternative submodular diversity functions.  The paper (Sec. III-C)
+# notes "the probabilistic coverage function can be replaced by other
+# submodular diversity functions according to the objective of the
+# recommendation scenario" — these are two standard choices.
+# ----------------------------------------------------------------------
+
+
+def saturating_coverage(coverage: np.ndarray) -> np.ndarray:
+    """Exponentiated-sum coverage ``c_j(G) = 1 - exp(-sum_v tau_v^j)``.
+
+    Monotone submodular (concave of a modular function); saturates more
+    slowly than the probabilistic coverage, so repeated topics keep a
+    little marginal value.
+    """
+    coverage = np.asarray(coverage, dtype=np.float64)
+    return 1.0 - np.exp(-coverage.sum(axis=-2))
+
+
+def log_coverage(coverage: np.ndarray) -> np.ndarray:
+    """Logarithmic coverage ``c_j(G) = log(1 + sum_v tau_v^j)``.
+
+    Unbounded but still monotone submodular; used when a list may usefully
+    cover the same topic many times (e.g. a news feed with depth).
+    """
+    coverage = np.asarray(coverage, dtype=np.float64)
+    return np.log1p(coverage.sum(axis=-2))
+
+
+_COVERAGE_FUNCTIONS = {
+    "probabilistic": probabilistic_coverage,
+    "saturating": saturating_coverage,
+    "log": log_coverage,
+}
+
+
+def incremental_gain(coverage: np.ndarray, kind: str = "probabilistic") -> np.ndarray:
+    """Sequential marginal gain per position for any supported coverage.
+
+    ``gain[k] = c(S_{1:k}) - c(S_{1:k-1})`` with ``c`` chosen by ``kind``
+    (``probabilistic`` | ``saturating`` | ``log``).  The probabilistic case
+    dispatches to the closed form of :func:`incremental_coverage`.
+    """
+    if kind not in _COVERAGE_FUNCTIONS:
+        raise ValueError(
+            f"unknown coverage kind {kind!r}; choose from "
+            f"{sorted(_COVERAGE_FUNCTIONS)}"
+        )
+    if kind == "probabilistic":
+        return incremental_coverage(coverage)
+    coverage = np.asarray(coverage, dtype=np.float64)
+    function = _COVERAGE_FUNCTIONS[kind]
+    length = coverage.shape[-2]
+    gains = np.empty_like(coverage)
+    previous = np.zeros(coverage.shape[:-2] + coverage.shape[-1:])
+    for position in range(length):
+        current = function(coverage[..., : position + 1, :])
+        gains[..., position, :] = current - previous
+        previous = current
+    return gains

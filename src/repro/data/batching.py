@@ -1,0 +1,237 @@
+"""Batch assembly for re-ranking models.
+
+A :class:`RerankBatch` carries every dense array the models need: user and
+item features, topic coverage of the initial list, initial-ranker scores,
+clicks, validity masks, and the user behavior history in two views — the
+flat sequence (used by DIN-style models) and the per-topic split sequences
+(used by RAPID's personalized diversity estimator, paper Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .schema import Catalog, Population, RankingRequest
+
+__all__ = [
+    "RerankBatch",
+    "split_history_by_topic",
+    "build_batch",
+    "iterate_batches",
+    "normalized_initial_scores",
+]
+
+
+@dataclass
+class RerankBatch:
+    """Dense, padded arrays for a batch of ranking requests.
+
+    Shapes use B = batch, L = list length, m = topics, D = per-topic history
+    length, H = flat history length, q_u / q_v = feature dims.
+    """
+
+    user_ids: np.ndarray  # (B,)
+    user_features: np.ndarray  # (B, q_u)
+    item_ids: np.ndarray  # (B, L)
+    item_features: np.ndarray  # (B, L, q_v)
+    coverage: np.ndarray  # (B, L, m)
+    initial_scores: np.ndarray  # (B, L)
+    clicks: np.ndarray  # (B, L)
+    mask: np.ndarray  # (B, L) bool
+    history_features: np.ndarray  # (B, H, q_v)
+    history_mask: np.ndarray  # (B, H) bool
+    topic_history_features: np.ndarray  # (B, m, D, q_v)
+    topic_history_mask: np.ndarray  # (B, m, D) bool
+    bids: np.ndarray | None = None  # (B, L)
+    observed: np.ndarray | None = None  # (B, L) bool: surely-examined (DCM)
+
+    def __post_init__(self) -> None:
+        if self.observed is None:
+            self.observed = self.mask.copy()
+
+    @property
+    def training_mask(self) -> np.ndarray:
+        """Valid positions whose click label is unbiased under the DCM."""
+        return self.mask & self.observed
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def list_length(self) -> int:
+        return self.item_ids.shape[1]
+
+    @property
+    def num_topics(self) -> int:
+        return self.coverage.shape[2]
+
+
+def normalized_initial_scores(batch: RerankBatch) -> np.ndarray:
+    """Per-list z-scored initial-ranker scores (B, L).
+
+    Raw ranker logits live on arbitrary scales (DIN logits vs LambdaMART
+    margins); normalizing per list keeps the feature comparable across
+    initial rankers and training runs.  Padded positions get 0.
+    """
+    scores = batch.initial_scores
+    masked = np.where(batch.mask, scores, np.nan)
+    mean = np.nanmean(masked, axis=1, keepdims=True)
+    std = np.nanstd(masked, axis=1, keepdims=True)
+    normalized = (scores - mean) / np.where(std > 1e-8, std, 1.0)
+    return np.where(batch.mask, normalized, 0.0)
+
+
+def split_history_by_topic(
+    history: np.ndarray,
+    coverage: np.ndarray,
+    num_topics: int,
+    max_length: int,
+    membership_threshold: float = 0.25,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a flat behavior history into per-topic sequences (Sec. III-C).
+
+    An item joins topic ``j``'s sequence if its coverage of ``j`` is at
+    least ``membership_threshold`` or ``j`` is its dominant topic.  Each
+    sequence keeps the **most recent** ``max_length`` items, preserving time
+    order.  Returns ``(ids (m, D), mask (m, D))`` with -1 padding ids.
+    """
+    history = np.asarray(history, dtype=np.int64)
+    ids = np.full((num_topics, max_length), -1, dtype=np.int64)
+    mask = np.zeros((num_topics, max_length), dtype=bool)
+    if history.size == 0:
+        return ids, mask
+    item_cov = coverage[history]  # (H, m)
+    dominant = item_cov.argmax(axis=1)
+    for topic in range(num_topics):
+        member = (item_cov[:, topic] >= membership_threshold) | (dominant == topic)
+        topical = history[member][-max_length:]
+        if topical.size:
+            ids[topic, : len(topical)] = topical
+            mask[topic, : len(topical)] = True
+    return ids, mask
+
+
+def build_batch(
+    requests: Sequence[RankingRequest],
+    catalog: Catalog,
+    population: Population,
+    histories: Sequence[np.ndarray],
+    topic_history_length: int = 5,
+    flat_history_length: int = 20,
+) -> RerankBatch:
+    """Assemble a :class:`RerankBatch` from raw requests.
+
+    Lists may have different lengths; shorter lists are zero-padded and
+    masked.  Histories are truncated to the most recent entries.
+    """
+    if not requests:
+        raise ValueError("cannot build a batch from zero requests")
+    batch = len(requests)
+    length = max(r.list_length for r in requests)
+    num_topics = catalog.num_topics
+    q_v = catalog.feature_dim
+
+    user_ids = np.array([r.user_id for r in requests], dtype=np.int64)
+    item_ids = np.zeros((batch, length), dtype=np.int64)
+    item_features = np.zeros((batch, length, q_v))
+    coverage = np.zeros((batch, length, num_topics))
+    initial_scores = np.zeros((batch, length))
+    clicks = np.zeros((batch, length))
+    mask = np.zeros((batch, length), dtype=bool)
+    observed = np.zeros((batch, length), dtype=bool)
+    bids = np.zeros((batch, length)) if catalog.bids is not None else None
+
+    hist_features = np.zeros((batch, flat_history_length, q_v))
+    hist_mask = np.zeros((batch, flat_history_length), dtype=bool)
+    topic_features = np.zeros((batch, num_topics, topic_history_length, q_v))
+    topic_mask = np.zeros((batch, num_topics, topic_history_length), dtype=bool)
+
+    for row, request in enumerate(requests):
+        n = request.list_length
+        item_ids[row, :n] = request.items
+        item_features[row, :n] = catalog.features[request.items]
+        coverage[row, :n] = catalog.coverage[request.items]
+        initial_scores[row, :n] = request.initial_scores
+        if request.clicks is not None:
+            clicks[row, :n] = request.clicks
+        mask[row, :n] = True
+        # DCM observation prefix: with no click, the user examined every
+        # position; with clicks, positions after the last click may not
+        # have been examined (the session may have terminated there), so
+        # their zero labels are censored, not negatives.  Fully-observed
+        # requests (simulator-logged attraction outcomes) carry no
+        # censoring at all.
+        if (
+            not request.fully_observed
+            and request.clicks is not None
+            and request.clicks.max() > 0.5
+        ):
+            last_click = int(np.flatnonzero(request.clicks > 0.5)[-1])
+            observed[row, : last_click + 1] = True
+        else:
+            observed[row, :n] = True
+        if bids is not None:
+            bids[row, :n] = catalog.bids[request.items]
+
+        history = np.asarray(histories[request.user_id], dtype=np.int64)
+        recent = history[-flat_history_length:]
+        if recent.size:
+            hist_features[row, : len(recent)] = catalog.features[recent]
+            hist_mask[row, : len(recent)] = True
+        topic_ids, t_mask = split_history_by_topic(
+            history, catalog.coverage, num_topics, topic_history_length
+        )
+        valid = topic_ids >= 0
+        topic_features[row][valid] = catalog.features[topic_ids[valid]]
+        topic_mask[row] = t_mask
+
+    return RerankBatch(
+        user_ids=user_ids,
+        user_features=population.features[user_ids],
+        item_ids=item_ids,
+        item_features=item_features,
+        coverage=coverage,
+        initial_scores=initial_scores,
+        clicks=clicks,
+        mask=mask,
+        observed=observed,
+        history_features=hist_features,
+        history_mask=hist_mask,
+        topic_history_features=topic_features,
+        topic_history_mask=topic_mask,
+        bids=bids,
+    )
+
+
+def iterate_batches(
+    requests: Sequence[RankingRequest],
+    catalog: Catalog,
+    population: Population,
+    histories: Sequence[np.ndarray],
+    batch_size: int,
+    shuffle: bool = True,
+    seed: int | np.random.Generator | None = 0,
+    topic_history_length: int = 5,
+    flat_history_length: int = 20,
+) -> Iterator[RerankBatch]:
+    """Yield :class:`RerankBatch` objects covering ``requests`` once."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = np.arange(len(requests))
+    if shuffle:
+        make_rng(seed).shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = [requests[i] for i in order[start : start + batch_size]]
+        yield build_batch(
+            chunk,
+            catalog,
+            population,
+            histories,
+            topic_history_length=topic_history_length,
+            flat_history_length=flat_history_length,
+        )

@@ -1,0 +1,129 @@
+"""Dataset persistence: save/load worlds and request logs as ``.npz``.
+
+Lets a generated semi-synthetic dataset (world + histories + click-labeled
+requests) be frozen to disk so that every model in a comparison trains and
+evaluates on byte-identical data, and so experiments can be shared.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .schema import Catalog, Population, RankingRequest
+
+__all__ = [
+    "save_catalog",
+    "load_catalog",
+    "save_population",
+    "load_population",
+    "save_requests",
+    "load_requests",
+    "save_histories",
+    "load_histories",
+]
+
+
+def _ensure_npz(path: str | Path) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> Path:
+    path = _ensure_npz(path)
+    payload = {"features": catalog.features, "coverage": catalog.coverage}
+    if catalog.bids is not None:
+        payload["bids"] = catalog.bids
+    np.savez(path, **payload)
+    return path
+
+
+def load_catalog(path: str | Path) -> Catalog:
+    with np.load(Path(path)) as archive:
+        bids = archive["bids"] if "bids" in archive.files else None
+        return Catalog(
+            features=archive["features"], coverage=archive["coverage"], bids=bids
+        )
+
+
+def save_population(population: Population, path: str | Path) -> Path:
+    path = _ensure_npz(path)
+    np.savez(
+        path,
+        features=population.features,
+        topic_preference=population.topic_preference,
+        diversity_weight=population.diversity_weight,
+        latent=population.latent,
+    )
+    return path
+
+
+def load_population(path: str | Path) -> Population:
+    with np.load(Path(path)) as archive:
+        return Population(
+            features=archive["features"],
+            topic_preference=archive["topic_preference"],
+            diversity_weight=archive["diversity_weight"],
+            latent=archive["latent"],
+        )
+
+
+def save_requests(requests: list[RankingRequest], path: str | Path) -> Path:
+    """Persist equal-length requests as stacked arrays."""
+    path = _ensure_npz(path)
+    if not requests:
+        raise ValueError("cannot save an empty request list")
+    lengths = {r.list_length for r in requests}
+    if len(lengths) != 1:
+        raise ValueError("save_requests requires equal-length lists")
+    has_clicks = all(r.clicks is not None for r in requests)
+    payload = {
+        "user_ids": np.array([r.user_id for r in requests], dtype=np.int64),
+        "items": np.vstack([r.items for r in requests]),
+        "initial_scores": np.vstack([r.initial_scores for r in requests]),
+        "fully_observed": np.array(
+            [r.fully_observed for r in requests], dtype=bool
+        ),
+    }
+    if has_clicks:
+        payload["clicks"] = np.vstack([r.clicks for r in requests])
+    np.savez(path, **payload)
+    return path
+
+
+def load_requests(path: str | Path) -> list[RankingRequest]:
+    with np.load(Path(path)) as archive:
+        clicks = archive["clicks"] if "clicks" in archive.files else None
+        return [
+            RankingRequest(
+                user_id=int(archive["user_ids"][i]),
+                items=archive["items"][i],
+                initial_scores=archive["initial_scores"][i],
+                clicks=None if clicks is None else clicks[i],
+                fully_observed=bool(archive["fully_observed"][i]),
+            )
+            for i in range(len(archive["user_ids"]))
+        ]
+
+
+def save_histories(histories: list[np.ndarray], path: str | Path) -> Path:
+    """Persist variable-length histories via padding + length vector."""
+    path = _ensure_npz(path)
+    lengths = np.array([len(h) for h in histories], dtype=np.int64)
+    width = int(lengths.max(initial=0))
+    padded = np.full((len(histories), max(width, 1)), -1, dtype=np.int64)
+    for row, history in enumerate(histories):
+        padded[row, : len(history)] = history
+    np.savez(path, padded=padded, lengths=lengths)
+    return path
+
+
+def load_histories(path: str | Path) -> list[np.ndarray]:
+    with np.load(Path(path)) as archive:
+        padded = archive["padded"]
+        lengths = archive["lengths"]
+        return [padded[i, : lengths[i]].copy() for i in range(len(lengths))]

@@ -1,0 +1,199 @@
+"""Core datatypes shared by the data, click, ranking, and evaluation layers.
+
+The semi-synthetic protocol of the paper (Sec. IV-A/IV-B) works with:
+
+- a *catalog* of items, each with a feature vector ``x_v`` and a topic
+  coverage vector ``tau_v`` in [0, 1]^m;
+- a *population* of users, each with a feature vector ``x_u``, a hidden
+  preference distribution over topics, and a hidden per-topic diversity
+  weight ``rho`` (used by the DCM click simulator);
+- *behavior histories*: time-ordered positively-interacted item ids;
+- *ranking requests*: an initial list of L candidate item ids (sorted by an
+  initial ranker) for a user, plus clicks once simulated/logged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.validation import check_probability_matrix
+
+__all__ = ["Catalog", "Population", "RankingRequest", "RerankDataset"]
+
+
+@dataclass
+class Catalog:
+    """The item universe.
+
+    Attributes
+    ----------
+    features:
+        (num_items, q_v) item feature matrix ``x_v``.
+    coverage:
+        (num_items, m) topic-coverage matrix ``tau``; entry ``tau[v, j]`` is
+        the probability item ``v`` covers topic ``j``.
+    bids:
+        Optional (num_items,) bid prices — only the App Store dataset uses
+        them (for rev@k).
+    """
+
+    features: np.ndarray
+    coverage: np.ndarray
+    bids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.coverage = check_probability_matrix(self.coverage, "coverage")
+        if len(self.features) != len(self.coverage):
+            raise ValueError(
+                "features and coverage must describe the same number of items"
+            )
+        if self.bids is not None:
+            self.bids = np.asarray(self.bids, dtype=np.float64)
+            if len(self.bids) != len(self.features):
+                raise ValueError("bids must have one entry per item")
+
+    @property
+    def num_items(self) -> int:
+        return len(self.features)
+
+    @property
+    def num_topics(self) -> int:
+        return self.coverage.shape[1]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+    def dominant_topics(self) -> np.ndarray:
+        """Hard topic assignment: argmax of each item's coverage."""
+        return self.coverage.argmax(axis=1)
+
+
+@dataclass
+class Population:
+    """The user universe with hidden (ground-truth) preference structure.
+
+    Attributes
+    ----------
+    features:
+        (num_users, q_u) observable user features ``x_u``.
+    topic_preference:
+        (num_users, m) hidden preference distribution over topics (rows sum
+        to 1).  Drives both relevance and the personalized diversity weight.
+    diversity_weight:
+        (num_users, m) hidden per-topic diversity weights ``rho`` used by the
+        DCM attraction probability (Sec. IV-B1).
+    latent:
+        (num_users, d) hidden taste embedding used by the ground-truth
+        relevance function.
+    """
+
+    features: np.ndarray
+    topic_preference: np.ndarray
+    diversity_weight: np.ndarray
+    latent: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.topic_preference = np.asarray(self.topic_preference, dtype=np.float64)
+        self.diversity_weight = np.asarray(self.diversity_weight, dtype=np.float64)
+        self.latent = np.asarray(self.latent, dtype=np.float64)
+        lengths = {
+            len(self.features),
+            len(self.topic_preference),
+            len(self.diversity_weight),
+            len(self.latent),
+        }
+        if len(lengths) != 1:
+            raise ValueError("all population arrays must have the same length")
+
+    @property
+    def num_users(self) -> int:
+        return len(self.features)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+
+@dataclass
+class RankingRequest:
+    """One re-ranking request: a user, an initial list, and (optional) clicks.
+
+    Attributes
+    ----------
+    user_id:
+        Index into the population.
+    items:
+        (L,) candidate item ids in initial-ranker order (position 0 ranked
+        first).
+    initial_scores:
+        (L,) scores assigned by the initial ranker.
+    clicks:
+        (L,) binary click feedback on the initial list, if simulated/logged.
+    fully_observed:
+        True when the click labels carry no examination censoring (the
+        simulator logged the attraction outcome for every position); False
+        for realistic sessions where positions after a satisfied exit are
+        censored.
+    """
+
+    user_id: int
+    items: np.ndarray
+    initial_scores: np.ndarray
+    clicks: np.ndarray | None = None
+    fully_observed: bool = False
+
+    def __post_init__(self) -> None:
+        self.items = np.asarray(self.items, dtype=np.int64)
+        self.initial_scores = np.asarray(self.initial_scores, dtype=np.float64)
+        if self.items.ndim != 1:
+            raise ValueError("items must be a 1-D id array")
+        if self.items.shape != self.initial_scores.shape:
+            raise ValueError("items and initial_scores must align")
+        if self.clicks is not None:
+            self.clicks = np.asarray(self.clicks, dtype=np.float64)
+            if self.clicks.shape != self.items.shape:
+                raise ValueError("clicks must align with items")
+
+    @property
+    def list_length(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class RerankDataset:
+    """A full semi-synthetic dataset in the paper's four-way split.
+
+    Attributes
+    ----------
+    catalog, population:
+        The item/user universes.
+    histories:
+        Per-user time-ordered item-id lists (the behavior history split).
+    ranker_train:
+        (user_id, item_id, label) interactions for training initial rankers.
+    rerank_train / test:
+        Lists of :class:`RankingRequest` (clicks filled in by the click
+        simulator or logged).
+    name:
+        Dataset identifier ("taobao", "movielens", "appstore").
+    """
+
+    catalog: Catalog
+    population: Population
+    histories: list[np.ndarray]
+    ranker_train: np.ndarray
+    rerank_train: list[RankingRequest] = field(default_factory=list)
+    test: list[RankingRequest] = field(default_factory=list)
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if len(self.histories) != self.population.num_users:
+            raise ValueError("one history per user is required")
+
+    def history_of(self, user_id: int) -> np.ndarray:
+        return self.histories[user_id]

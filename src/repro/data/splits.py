@@ -1,0 +1,72 @@
+"""Dataset partitioning helpers.
+
+The paper splits each public dataset into behavior history, initial-ranker
+training, re-ranking training, and test partitions (chronologically for
+Taobao, 2:3:4:1 per user for MovieLens).  Our generators produce the
+partitions directly, so this module only needs generic request-level and
+interaction-level splitters used by the pipeline and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from ..utils.rng import make_rng
+
+__all__ = ["train_test_split", "ratio_split"]
+
+T = TypeVar("T")
+
+
+def train_test_split(
+    items: Sequence[T],
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[list[T], list[T]]:
+    """Random split of a sequence into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = np.arange(len(items))
+    make_rng(seed).shuffle(order)
+    cut = int(round(len(items) * (1.0 - test_fraction)))
+    if cut in (0, len(items)):
+        raise ValueError("split produced an empty partition; adjust fraction/size")
+    train = [items[i] for i in order[:cut]]
+    test = [items[i] for i in order[cut:]]
+    return train, test
+
+
+def ratio_split(
+    items: Sequence[T],
+    ratios: Sequence[float],
+) -> list[list[T]]:
+    """Deterministic in-order split by ratio, e.g. the paper's 2:3:4:1.
+
+    Every partition is guaranteed at least one element when
+    ``len(items) >= len(ratios)``.
+    """
+    ratios = np.asarray(ratios, dtype=np.float64)
+    if np.any(ratios <= 0):
+        raise ValueError("ratios must be positive")
+    if len(items) < len(ratios):
+        raise ValueError("not enough items for the requested partitions")
+    bounds = np.cumsum(ratios) / ratios.sum()
+    cuts = [int(round(b * len(items))) for b in bounds[:-1]]
+    # Enforce monotone, non-empty partitions.
+    adjusted: list[int] = []
+    previous = 0
+    remaining = len(ratios) - 1
+    for cut in cuts:
+        cut = max(cut, previous + 1)
+        cut = min(cut, len(items) - remaining)
+        adjusted.append(cut)
+        previous = cut
+        remaining -= 1
+    pieces: list[list[T]] = []
+    start = 0
+    for cut in adjusted + [len(items)]:
+        pieces.append(list(items[start:cut]))
+        start = cut
+    return pieces

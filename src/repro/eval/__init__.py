@@ -1,0 +1,38 @@
+"""Experiment harness: configs, the end-to-end pipeline, table formatting."""
+
+from .analysis import (
+    breadth_buckets,
+    diversity_by_breadth,
+    preference_recovery,
+    utility_by_breadth,
+)
+from .experiment import (
+    EvaluationResult,
+    ExperimentBundle,
+    evaluate_reranker,
+    make_reranker,
+    prepare_bundle,
+    run_experiment,
+)
+from .protocol import DEFAULT_MODELS, ExperimentConfig
+from .sweeps import GridSearchResult, grid_search
+from .tables import format_series, format_table
+
+__all__ = [
+    "DEFAULT_MODELS",
+    "breadth_buckets",
+    "diversity_by_breadth",
+    "preference_recovery",
+    "utility_by_breadth",
+    "EvaluationResult",
+    "ExperimentBundle",
+    "ExperimentConfig",
+    "evaluate_reranker",
+    "format_series",
+    "format_table",
+    "GridSearchResult",
+    "grid_search",
+    "make_reranker",
+    "prepare_bundle",
+    "run_experiment",
+]

@@ -1,0 +1,100 @@
+"""Command-line experiment runner.
+
+Run one experimental cell of the paper from the shell:
+
+    python -m repro.eval --dataset taobao --tradeoff 0.5 \
+        --models init prm dpp rapid-pro --epochs 8
+
+Prints the resulting metric table (click@k / ndcg@k / div@k / satis@k, plus
+rev@k on the App Store dataset).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..core.trainer import TrainConfig
+from .experiment import prepare_bundle, run_experiment
+from .protocol import DEFAULT_MODELS, ExperimentConfig
+from .tables import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Run a RAPID reproduction experiment cell.",
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=["taobao", "movielens", "appstore"],
+        default="taobao",
+    )
+    parser.add_argument("--scale", choices=["tiny", "small", "full"], default="small")
+    parser.add_argument(
+        "--tradeoff",
+        type=float,
+        default=0.5,
+        help="DCM lambda: 1.0 = clicks driven purely by relevance",
+    )
+    parser.add_argument(
+        "--initial-ranker",
+        choices=["din", "svmrank", "lambdamart"],
+        default="din",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(DEFAULT_MODELS),
+        help=f"subset of: {', '.join(DEFAULT_MODELS)}",
+    )
+    parser.add_argument("--list-length", type=int, default=15)
+    parser.add_argument("--train-requests", type=int, default=1000)
+    parser.add_argument("--test-requests", type=int, default=150)
+    parser.add_argument("--ranker-interactions", type=int, default=2000)
+    parser.add_argument("--hidden", type=int, default=16)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--lr", type=float, default=1e-2)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        tradeoff=args.tradeoff,
+        initial_ranker=args.initial_ranker,
+        list_length=args.list_length,
+        num_train_requests=args.train_requests,
+        num_test_requests=args.test_requests,
+        ranker_interactions=args.ranker_interactions,
+        hidden=args.hidden,
+        eval_mode="logged" if args.dataset == "appstore" else "expected",
+        train=TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            seed=args.seed,
+        ),
+        seed=args.seed,
+    )
+    print(
+        f"dataset={config.dataset} scale={config.scale} "
+        f"lambda={config.tradeoff} initial_ranker={config.initial_ranker}"
+    )
+    print("preparing data (world -> initial ranker -> simulated clicks)...")
+    bundle = prepare_bundle(config)
+    results = {}
+    for name in args.models:
+        print(f"running {name}...")
+        outcome = run_experiment(config, [name], bundle=bundle)
+        results[name] = outcome[name].metrics
+    print()
+    print(format_table(results, title="Results"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Post-hoc analyses of re-ranking behavior (RQ5 tooling).
+
+Beyond aggregate metrics, the paper's RQ5 asks *whether the model actually
+personalizes*.  These helpers decompose evaluation outcomes along user
+characteristics:
+
+- :func:`utility_by_breadth` — per-request utility bucketed by the user's
+  taste breadth; personalized diversification should help broad-taste
+  users the most.
+- :func:`diversity_by_breadth` — top-k diversity per breadth bucket; a
+  personalizing re-ranker shows a *steeper* diversity-vs-breadth slope
+  than a uniform one.
+- :func:`preference_recovery` — correlation between theta_hat and the
+  hidden theta* per user.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.batching import build_batch
+from ..metrics import topic_coverage
+from ..rerank.base import Reranker, identity_permutation
+from .experiment import ExperimentBundle
+
+__all__ = [
+    "breadth_buckets",
+    "utility_by_breadth",
+    "diversity_by_breadth",
+    "preference_recovery",
+]
+
+
+def breadth_buckets(
+    bundle: ExperimentBundle, num_buckets: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bucket test requests by the requesting user's observable breadth.
+
+    Breadth = normalized entropy of the topic distribution of the user's
+    behavior history.  Returns ``(bucket index per request, bucket edges)``.
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    coverage = bundle.world.catalog.coverage
+    entropies = []
+    for request in bundle.test_requests:
+        history = bundle.histories[request.user_id]
+        mass = coverage[history].sum(axis=0)
+        total = mass.sum()
+        if total <= 0:
+            entropies.append(0.0)
+            continue
+        dist = mass / total
+        entropies.append(float(-(dist * np.log(dist + 1e-12)).sum()))
+    entropies = np.asarray(entropies)
+    edges = np.quantile(entropies, np.linspace(0, 1, num_buckets + 1))
+    buckets = np.clip(
+        np.searchsorted(edges[1:-1], entropies, side="right"), 0, num_buckets - 1
+    )
+    return buckets, edges
+
+
+def _permutations(
+    reranker: Reranker | None, bundle: ExperimentBundle
+) -> np.ndarray:
+    batch = build_batch(
+        bundle.test_requests,
+        bundle.world.catalog,
+        bundle.world.population,
+        bundle.histories,
+    )
+    if reranker is None:
+        return identity_permutation(batch)
+    return reranker.rerank(batch)
+
+
+def utility_by_breadth(
+    reranker: Reranker | None,
+    bundle: ExperimentBundle,
+    k: int = 5,
+    num_buckets: int = 3,
+) -> dict[str, float]:
+    """Mean expected clicks@k per breadth bucket (focused -> diverse)."""
+    buckets, _ = breadth_buckets(bundle, num_buckets)
+    permutations = _permutations(reranker, bundle)
+    utilities = np.asarray(
+        [
+            bundle.click_model.expected_clicks(
+                request.user_id,
+                request.items[permutations[i][: len(request.items)]],
+                k,
+            )
+            for i, request in enumerate(bundle.test_requests)
+        ]
+    )
+    return {
+        f"bucket{b}": float(utilities[buckets == b].mean())
+        for b in range(num_buckets)
+        if (buckets == b).any()
+    }
+
+
+def diversity_by_breadth(
+    reranker: Reranker | None,
+    bundle: ExperimentBundle,
+    k: int = 5,
+    num_buckets: int = 3,
+) -> dict[str, float]:
+    """Mean covered topics in the top-k per breadth bucket."""
+    buckets, _ = breadth_buckets(bundle, num_buckets)
+    permutations = _permutations(reranker, bundle)
+    coverage = bundle.world.catalog.coverage
+    diversities = np.asarray(
+        [
+            float(
+                topic_coverage(
+                    coverage[
+                        request.items[permutations[i][: len(request.items)]][:k]
+                    ]
+                ).sum()
+            )
+            for i, request in enumerate(bundle.test_requests)
+        ]
+    )
+    return {
+        f"bucket{b}": float(diversities[buckets == b].mean())
+        for b in range(num_buckets)
+        if (buckets == b).any()
+    }
+
+
+def preference_recovery(
+    rapid_reranker, bundle: ExperimentBundle
+) -> dict[str, float]:
+    """How well theta_hat matches the hidden theta* (mean/median corr)."""
+    batch = build_batch(
+        bundle.test_requests,
+        bundle.world.catalog,
+        bundle.world.population,
+        bundle.histories,
+    )
+    theta_hat = rapid_reranker.model.preference_distribution(batch)
+    theta_star = bundle.world.population.topic_preference[batch.user_ids]
+    correlations = [
+        float(np.corrcoef(theta_hat[i], theta_star[i])[0, 1])
+        for i in range(len(theta_hat))
+        if theta_star[i].std() > 0 and theta_hat[i].std() > 0
+    ]
+    correlations = np.asarray(correlations)
+    return {
+        "mean_corr": float(np.nanmean(correlations)),
+        "median_corr": float(np.nanmedian(correlations)),
+        "frac_positive": float(np.nanmean(correlations > 0)),
+    }

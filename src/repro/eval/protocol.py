@@ -1,0 +1,79 @@
+"""Experiment configuration (the paper's protocol, Sec. IV-A/B/C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.trainer import TrainConfig
+
+__all__ = ["ExperimentConfig", "DEFAULT_MODELS"]
+
+DEFAULT_MODELS: tuple[str, ...] = (
+    "init",
+    "dlcm",
+    "prm",
+    "setrank",
+    "srga",
+    "mmr",
+    "dpp",
+    "desa",
+    "ssd",
+    "adpmmr",
+    "pdgan",
+    "rapid-det",
+    "rapid-pro",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one experimental cell.
+
+    Attributes
+    ----------
+    dataset:
+        ``taobao`` / ``movielens`` / ``appstore``.
+    scale:
+        Generator scale preset (``tiny`` for tests, ``small`` for benches,
+        ``full`` for thorough runs).
+    tradeoff:
+        The DCM lambda of Table II (0.5 / 0.9 / 1.0).  Ignored by the
+        App Store dataset whose clicks come from its own logged model.
+    initial_ranker:
+        ``din`` (default, Table II) / ``svmrank`` / ``lambdamart`` (Table IV).
+    list_length:
+        L, the initial list length (paper: 20).
+    eval_ks:
+        Cutoffs reported (paper: 5 and 10).
+    num_train_requests / num_test_requests / ranker_interactions:
+        Data volumes for the re-ranking train/test splits and the initial
+        ranker's training set.
+    eval_mode:
+        ``expected`` — deterministic DCM expectations (low-variance, used
+        for the public datasets); ``logged`` — replay the logged clicks
+        (App Store).
+    """
+
+    dataset: str = "taobao"
+    scale: str = "small"
+    tradeoff: float = 0.5
+    initial_ranker: str = "din"
+    list_length: int = 20
+    eval_ks: tuple[int, ...] = (5, 10)
+    num_train_requests: int = 600
+    num_test_requests: int = 150
+    ranker_interactions: int = 2000
+    eval_mode: str = "expected"
+    hidden: int = 16
+    train: TrainConfig = field(default_factory=TrainConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in ("taobao", "movielens", "appstore"):
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        if self.initial_ranker not in ("din", "svmrank", "lambdamart"):
+            raise ValueError(f"unknown initial ranker {self.initial_ranker!r}")
+        if self.eval_mode not in ("expected", "logged"):
+            raise ValueError(f"unknown eval mode {self.eval_mode!r}")
+        if not 0.0 <= self.tradeoff <= 1.0:
+            raise ValueError("tradeoff must be in [0, 1]")

@@ -1,0 +1,95 @@
+"""Collect benchmark artifacts into a single markdown report.
+
+``python -m repro.eval.report [results_dir] [output.md]`` gathers every
+table written by the benchmark harness (``benchmarks/results/*.txt``) into
+one reviewable document, grouped by experiment family and wrapped in code
+fences so the aligned text tables render verbatim.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+__all__ = ["collect_results", "write_report"]
+
+_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table2_", "Table II — overall performance (public datasets)"),
+    ("table3_", "Table III — App Store"),
+    ("table4_", "Table IV — alternative initial rankers"),
+    ("fig3_", "Figure 3 — ablation"),
+    ("fig4_", "Figure 4 — hidden size"),
+    ("table5_", "Table V — history length"),
+    ("table6_", "Table VI — efficiency"),
+    ("fig5_", "Figure 5 — case study"),
+    ("theorem", "Theorem 5.1 — regret"),
+    ("ablation_", "Design-choice ablations (this reproduction)"),
+    ("click_model_", "Click-model robustness (extension)"),
+    ("extension_", "Other extensions"),
+    ("rq5_", "RQ5 breadth decomposition (extension)"),
+)
+
+
+def collect_results(results_dir: str | Path) -> dict[str, list[tuple[str, str]]]:
+    """Read every artifact, grouped by section title, sorted by name."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    grouped: dict[str, list[tuple[str, str]]] = {}
+    for path in sorted(results_dir.glob("*.txt")):
+        for prefix, title in _SECTIONS:
+            if path.name.startswith(prefix):
+                grouped.setdefault(title, []).append(
+                    (path.stem, path.read_text().rstrip())
+                )
+                break
+        else:
+            grouped.setdefault("Other", []).append(
+                (path.stem, path.read_text().rstrip())
+            )
+    return grouped
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path | None = None
+) -> str:
+    """Render the markdown report; optionally write it to ``output``."""
+    grouped = collect_results(results_dir)
+    lines = [
+        "# Benchmark report",
+        "",
+        "Generated from the artifacts in "
+        f"`{Path(results_dir)}` by `python -m repro.eval.report`.",
+        "",
+    ]
+    # Preserve the canonical section order, then any leftovers.
+    ordered_titles = [title for _, title in _SECTIONS if title in grouped]
+    if "Other" in grouped:
+        ordered_titles.append("Other")
+    for title in ordered_titles:
+        lines.append(f"## {title}")
+        lines.append("")
+        for name, content in grouped[title]:
+            lines.append(f"### {name}")
+            lines.append("")
+            lines.append("```")
+            lines.append(content)
+            lines.append("```")
+            lines.append("")
+    text = "\n".join(lines)
+    if output is not None:
+        Path(output).write_text(text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    results_dir = Path(argv[0]) if argv else Path("benchmarks/results")
+    output = Path(argv[1]) if len(argv) > 1 else results_dir / "REPORT.md"
+    write_report(results_dir, output)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Result post-processing: significance markers and improvement rows.
+
+The paper annotates winning cells with ``*`` for statistically significant
+improvement (paired t-test, p < 0.05) over all baselines (Table II) or over
+the strongest baseline (Table III), and reports an ``impv%`` row.  These
+helpers reproduce that presentation layer on top of
+:class:`~repro.eval.experiment.EvaluationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..metrics import paired_t_test
+from .experiment import EvaluationResult
+
+__all__ = ["significance_markers", "improvement_row", "annotate_results"]
+
+
+def significance_markers(
+    results: Mapping[str, EvaluationResult],
+    candidate: str,
+    baselines: Sequence[str] | None = None,
+    alpha: float = 0.05,
+) -> dict[int, bool]:
+    """Is ``candidate`` significantly better than *every* baseline at k?
+
+    Returns {k: bool} per evaluation cutoff, using the per-request click
+    samples stored by the evaluator.
+    """
+    if candidate not in results:
+        raise KeyError(f"unknown candidate {candidate!r}")
+    baselines = [
+        name for name in (baselines or results) if name != candidate
+    ]
+    markers: dict[int, bool] = {}
+    candidate_samples = results[candidate].per_request_clicks
+    for k, samples in candidate_samples.items():
+        significant = True
+        for name in baselines:
+            other = results[name].per_request_clicks.get(k)
+            if other is None:
+                continue
+            t_stat, p_value = paired_t_test(samples, other)
+            if not (t_stat > 0 and p_value < alpha):
+                significant = False
+                break
+        markers[k] = significant
+    return markers
+
+
+def improvement_row(
+    results: Mapping[str, EvaluationResult],
+    candidate: str,
+    reference: str,
+) -> dict[str, float]:
+    """Percent improvement of ``candidate`` over ``reference`` per metric
+    (the paper's ``impv%`` row of Table III)."""
+    if candidate not in results or reference not in results:
+        raise KeyError("candidate and reference must both be in results")
+    row: dict[str, float] = {}
+    for metric, value in results[candidate].metrics.items():
+        base = results[reference].metrics.get(metric)
+        if base:
+            row[metric] = 100.0 * (value / base - 1.0)
+    return row
+
+
+def annotate_results(
+    results: Mapping[str, EvaluationResult],
+    candidate: str = "rapid-pro",
+    alpha: float = 0.05,
+) -> dict[str, dict[str, float]]:
+    """Metrics table plus a significance row for the candidate.
+
+    Adds a ``{candidate} sig@k`` pseudo-row with 1.0 where the candidate's
+    click@k improvement over all other models is significant.
+    """
+    table = {name: dict(result.metrics) for name, result in results.items()}
+    if candidate in results:
+        markers = significance_markers(results, candidate, alpha=alpha)
+        table[f"{candidate} sig"] = {
+            f"click@{k}": float(flag) for k, flag in markers.items()
+        }
+    return table
+
+
+def strongest_baseline(
+    results: Mapping[str, EvaluationResult],
+    metric: str,
+    exclude: Sequence[str] = ("rapid-det", "rapid-pro", "init"),
+) -> str:
+    """Name of the baseline with the highest value of ``metric``."""
+    candidates = {
+        name: result.metrics[metric]
+        for name, result in results.items()
+        if name not in exclude and metric in result.metrics
+    }
+    if not candidates:
+        raise ValueError("no baselines to compare against")
+    return max(candidates, key=candidates.get)

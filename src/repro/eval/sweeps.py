@@ -1,0 +1,123 @@
+"""Hyper-parameter grid search (the paper's Sec. IV-C protocol).
+
+The paper selects the learning rate from {1e-5..1e-2}, the batch size from
+{256, 512, 1024} and the hidden size from {8, 16, 32, 64} by grid search.
+:func:`grid_search` runs that protocol for any re-ranker buildable by
+:func:`~repro.eval.experiment.make_reranker`, splitting the training
+requests into train/validation and selecting by a validation metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..data.splits import train_test_split
+from .experiment import ExperimentBundle, evaluate_reranker, make_reranker
+
+__all__ = ["GridSearchResult", "grid_search"]
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search: the winning setting and the full trace."""
+
+    best_params: dict
+    best_score: float
+    metric: str
+    trace: list[tuple[dict, float]] = field(default_factory=list)
+
+
+def _apply_params(bundle: ExperimentBundle, params: dict) -> ExperimentBundle:
+    """Return a shallow copy of the bundle with config overrides applied."""
+    config = bundle.config
+    train_overrides = {
+        key: value
+        for key, value in params.items()
+        if key in ("lr", "batch_size", "epochs", "topic_history_length")
+    }
+    config_overrides = {
+        key: value for key, value in params.items() if key in ("hidden",)
+    }
+    new_config = dataclasses.replace(
+        config,
+        train=dataclasses.replace(config.train, **train_overrides),
+        **config_overrides,
+    )
+    clone = dataclasses.replace(bundle) if dataclasses.is_dataclass(bundle) else bundle
+    clone.config = new_config
+    return clone
+
+
+def grid_search(
+    model_name: str,
+    bundle: ExperimentBundle,
+    param_grid: dict[str, Sequence],
+    metric: str = "click@5",
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Exhaustive grid search over ``param_grid`` for one re-ranker.
+
+    Parameters
+    ----------
+    model_name:
+        Any name accepted by :func:`make_reranker` (e.g. ``rapid-pro``).
+    bundle:
+        A prepared experiment bundle; its training requests are split into
+        fit/validation portions (test requests are never touched).
+    param_grid:
+        Mapping from parameter name to candidate values.  Supported keys:
+        ``lr``, ``batch_size``, ``epochs``, ``hidden``,
+        ``topic_history_length``.
+    metric:
+        Validation metric to maximize.
+
+    Returns
+    -------
+    :class:`GridSearchResult` with the winner and the (params, score) trace.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must contain at least one parameter")
+    unknown = set(param_grid) - {
+        "lr",
+        "batch_size",
+        "epochs",
+        "hidden",
+        "topic_history_length",
+    }
+    if unknown:
+        raise ValueError(f"unsupported grid parameters: {sorted(unknown)}")
+
+    fit_requests, validation_requests = train_test_split(
+        bundle.train_requests, test_fraction=validation_fraction, seed=seed
+    )
+    # Validation bundle: evaluate on the held-out training slice.
+    validation_bundle = dataclasses.replace(bundle, test_requests=validation_requests)
+
+    names = list(param_grid)
+    trace: list[tuple[dict, float]] = []
+    best_params: dict | None = None
+    best_score = -float("inf")
+    for combo in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        candidate_bundle = _apply_params(validation_bundle, params)
+        reranker = make_reranker(model_name, candidate_bundle)
+        if reranker is not None and reranker.requires_training:
+            reranker.fit(
+                fit_requests,
+                bundle.world.catalog,
+                bundle.world.population,
+                bundle.histories,
+            )
+        score = evaluate_reranker(reranker, candidate_bundle)[metric]
+        trace.append((params, float(score)))
+        if score > best_score:
+            best_score = float(score)
+            best_params = params
+    assert best_params is not None
+    return GridSearchResult(
+        best_params=best_params, best_score=best_score, metric=metric, trace=trace
+    )

@@ -1,0 +1,62 @@
+"""Plain-text table formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    results: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a {row: {column: value}} mapping as an aligned text table."""
+    rows = list(results)
+    if columns is None:
+        seen: list[str] = []
+        for metrics in results.values():
+            for key in metrics:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    name_width = max([len(r) for r in rows] + [5])
+    col_width = max([len(c) for c in columns] + [precision + 4])
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (name_width + 2) + "  ".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = results[row].get(column)
+            cells.append(
+                ("-" if value is None else f"{value:.{precision}f}").rjust(col_width)
+            )
+        lines.append(row.ljust(name_width + 2) + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_label: str,
+    x_values: Sequence,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render {series: values-over-x} (figures reported as text series)."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max([len(str(x)) for x in x_values] + [precision + 4, len(x_label)])
+    header = x_label.ljust(12) + "  ".join(str(x).rjust(width) for x in x_values)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in series.items():
+        cells = "  ".join(f"{v:.{precision}f}".rjust(width) for v in values)
+        lines.append(name.ljust(12) + cells)
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Evaluation metrics: utility (click/ndcg/rev), diversity, satisfaction."""
+
+from .diversity import div_at_k, topic_coverage
+from .satisfaction import satis_at_k
+from .significance import is_significant_improvement, paired_t_test
+from .utility import clicks_at_k, ndcg_at_k, revenue_at_k
+
+__all__ = [
+    "clicks_at_k",
+    "div_at_k",
+    "is_significant_improvement",
+    "ndcg_at_k",
+    "paired_t_test",
+    "revenue_at_k",
+    "satis_at_k",
+    "topic_coverage",
+]

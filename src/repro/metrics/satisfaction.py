@@ -1,0 +1,42 @@
+"""Satisfaction metric satis@k under the DCM (paper Sec. IV-B2).
+
+``satis@k = 1 - (1/n) sum_l prod_{i<=k} (1 - eps_l(i) * phi_l(v_i))`` —
+the probability the user leaves satisfied within the top-k.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["satis_at_k"]
+
+
+def satis_at_k(
+    attraction: Sequence[np.ndarray],
+    termination: Sequence[np.ndarray] | np.ndarray,
+    k: int,
+) -> float:
+    """Average satisfied-exit probability within the top-k positions.
+
+    Parameters
+    ----------
+    attraction:
+        Per-request attraction probabilities ``phi_l(v_i)`` in ranked order.
+    termination:
+        Per-request (or shared) termination probabilities ``eps_l(i)``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    shared_eps = isinstance(termination, np.ndarray) and np.asarray(
+        termination
+    ).ndim == 1
+    values = []
+    for index, phi in enumerate(attraction):
+        phi = np.asarray(phi, dtype=np.float64)[:k]
+        eps = np.asarray(
+            termination if shared_eps else termination[index], dtype=np.float64
+        )[: len(phi)]
+        values.append(1.0 - float(np.prod(1.0 - eps * phi)))
+    return float(np.mean(values))

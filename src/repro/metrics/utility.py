@@ -1,0 +1,72 @@
+"""Utility metrics: click@k, ndcg@k, rev@k (paper Sec. IV-B2).
+
+All functions accept per-request arrays ordered by the re-ranked position
+(index 0 = top of the list) and average across requests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["clicks_at_k", "ndcg_at_k", "revenue_at_k"]
+
+
+def _as_rows(values: Sequence[np.ndarray] | np.ndarray) -> list[np.ndarray]:
+    if isinstance(values, np.ndarray) and values.ndim == 2:
+        return [values[i] for i in range(len(values))]
+    return [np.asarray(v, dtype=np.float64) for v in values]
+
+
+def clicks_at_k(clicks: Sequence[np.ndarray] | np.ndarray, k: int) -> float:
+    """Mean total clicks in the top-k: ``(1/n) sum_l sum_{i<=k} y_l(v_i)``.
+
+    Accepts realized binary clicks or expected per-position click
+    probabilities (the low-variance evaluation mode).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rows = _as_rows(clicks)
+    return float(np.mean([row[:k].sum() for row in rows]))
+
+
+def ndcg_at_k(relevance: Sequence[np.ndarray] | np.ndarray, k: int) -> float:
+    """Mean NDCG@k with gains ``rel_i`` and log2 position discounts.
+
+    The ideal ranking is computed per request from the same relevance
+    vector (over the *whole* list, so a model is rewarded for pulling
+    relevant items into the top-k).  Requests with no positive relevance
+    contribute 0.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rows = _as_rows(relevance)
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    scores = []
+    for row in rows:
+        top = row[:k]
+        dcg = float((top * discounts[: len(top)]).sum())
+        ideal_order = np.sort(row)[::-1][:k]
+        idcg = float((ideal_order * discounts[: len(ideal_order)]).sum())
+        scores.append(dcg / idcg if idcg > 0 else 0.0)
+    return float(np.mean(scores))
+
+
+def revenue_at_k(
+    clicks: Sequence[np.ndarray] | np.ndarray,
+    bids: Sequence[np.ndarray] | np.ndarray,
+    k: int,
+) -> float:
+    """Mean bid-weighted clicks: ``(1/n) sum_l sum_{i<=k} b_l(v_i) y_l(v_i)``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    click_rows = _as_rows(clicks)
+    bid_rows = _as_rows(bids)
+    if len(click_rows) != len(bid_rows):
+        raise ValueError("clicks and bids must describe the same requests")
+    totals = [
+        float((c[:k] * b[: len(c[:k])]).sum())
+        for c, b in zip(click_rows, bid_rows)
+    ]
+    return float(np.mean(totals))

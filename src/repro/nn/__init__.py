@@ -1,0 +1,68 @@
+"""``repro.nn`` — a from-scratch numpy autograd / neural network substrate.
+
+The paper's reference implementation is PyTorch; this package provides the
+subset needed to implement RAPID and all baselines exactly: a reverse-mode
+autograd :class:`Tensor`, modules/parameters, layers (Linear, Embedding,
+LSTM/GRU/Bi-LSTM, self-attention variants, MLP, LayerNorm, Dropout), losses,
+and optimizers (Adam, SGD).
+"""
+
+from . import functional, init, losses
+from .layers import (
+    MLP,
+    BiLSTM,
+    Dropout,
+    Embedding,
+    GatedLocalAttention,
+    GRU,
+    GRUCell,
+    InducedSetAttention,
+    LayerNorm,
+    Linear,
+    LSTM,
+    LSTMCell,
+    ModuleList,
+    MultiHeadSelfAttention,
+    SelfAttention,
+    Sequential,
+    TransformerEncoderLayer,
+)
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .serialization import load_module, save_module
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "BiLSTM",
+    "Dropout",
+    "Embedding",
+    "GRU",
+    "GRUCell",
+    "GatedLocalAttention",
+    "InducedSetAttention",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "ModuleList",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "SelfAttention",
+    "Sequential",
+    "Tensor",
+    "TransformerEncoderLayer",
+    "as_tensor",
+    "clip_grad_norm",
+    "functional",
+    "init",
+    "is_grad_enabled",
+    "load_module",
+    "losses",
+    "no_grad",
+    "save_module",
+]

@@ -1,0 +1,36 @@
+"""Neural network layers."""
+
+from .attention import (
+    GatedLocalAttention,
+    InducedSetAttention,
+    MultiHeadSelfAttention,
+    SelfAttention,
+    TransformerEncoderLayer,
+)
+from .container import ModuleList, Sequential
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .mlp import MLP
+from .normalization import LayerNorm
+from .recurrent import GRU, LSTM, BiLSTM, GRUCell, LSTMCell
+
+__all__ = [
+    "BiLSTM",
+    "Dropout",
+    "Embedding",
+    "GRU",
+    "GRUCell",
+    "GatedLocalAttention",
+    "InducedSetAttention",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "ModuleList",
+    "MultiHeadSelfAttention",
+    "SelfAttention",
+    "Sequential",
+    "TransformerEncoderLayer",
+]

@@ -1,0 +1,199 @@
+"""Recurrent layers: LSTM / GRU cells, sequence wrappers, and Bi-LSTM.
+
+RAPID uses a Bi-LSTM for the listwise relevance estimator (paper Sec. III-B)
+and unidirectional LSTMs for the per-topic behavior encoders (Sec. III-C);
+DLCM uses a GRU.  All cells follow the standard Hochreiter-Schmidhuber / Cho
+formulations with orthogonal recurrent and Xavier input weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["LSTMCell", "GRUCell", "LSTM", "GRU", "BiLSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step: (x_t, h_{t-1}, c_{t-1}) -> (h_t, c_t)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gates packed as [input, forget, cell, output] along the output axis.
+        self.w_ih = Parameter(init.xavier_uniform((4 * hidden_size, input_size), rng))
+        self.w_hh = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)]
+            )
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        batch = x.shape[0]
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h, c = state
+        gates = x @ self.w_ih.T + h @ self.w_hh.T + self.bias
+        hs = self.hidden_size
+        i = gates[:, :hs].sigmoid()
+        f = gates[:, hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs :].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class GRUCell(Module):
+    """A single GRU step: (x_t, h_{t-1}) -> h_t."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gates packed as [reset, update, new].
+        self.w_ih = Parameter(init.xavier_uniform((3 * hidden_size, input_size), rng))
+        self.w_hh = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(3)]
+            )
+        )
+        self.bias = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
+        batch = x.shape[0]
+        if h is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+        hs = self.hidden_size
+        gi = x @ self.w_ih.T + self.bias
+        gh = h @ self.w_hh.T
+        r = (gi[:, :hs] + gh[:, :hs]).sigmoid()
+        z = (gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
+        n = (gi[:, 2 * hs :] + r * gh[:, 2 * hs :]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+def _apply_mask_step(
+    new: Tensor, old: Tensor, mask_t: np.ndarray | None
+) -> Tensor:
+    """Keep the previous state where ``mask_t`` marks padding (False)."""
+    if mask_t is None:
+        return new
+    keep = mask_t.astype(np.float64)[:, None]
+    return new * Tensor(keep) + old * Tensor(1.0 - keep)
+
+
+class LSTM(Module):
+    """Runs an :class:`LSTMCell` over a (batch, time, features) sequence.
+
+    ``mask`` (batch, time) marks valid timesteps; padded steps carry the
+    previous hidden state forward so that the final state is the state after
+    the last *valid* input — this is how RAPID takes ``t_j = z_{j,D}`` for
+    variable-length topical behavior sequences.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, x: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """Return (outputs (batch, time, hidden), final hidden (batch, hidden))."""
+        batch, time, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: list[Tensor] = []
+        for t in range(time):
+            mask_t = mask[:, t] if mask is not None else None
+            h_new, c_new = self.cell(x[:, t, :], (h, c))
+            h = _apply_mask_step(h_new, h, mask_t)
+            c = _apply_mask_step(c_new, c, mask_t)
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1), h
+
+
+class GRU(Module):
+    """Runs a :class:`GRUCell` over a (batch, time, features) sequence."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, x: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, Tensor]:
+        batch, time, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: list[Tensor] = []
+        for t in range(time):
+            mask_t = mask[:, t] if mask is not None else None
+            h = _apply_mask_step(self.cell(x[:, t, :], h), h, mask_t)
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1), h
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; outputs concatenated forward/backward states.
+
+    This is the listwise relevance encoder of RAPID: each item's
+    representation ``h_i = [h_fwd_i, h_bwd_i]`` (paper Sec. III-B) sees the
+    listwise context both before and after position ``i``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.forward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.output_size = 2 * hidden_size
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Return (batch, time, 2*hidden) contextual representations."""
+        fwd, _ = self.forward_lstm(x, mask=mask)
+        rev = x[:, ::-1, :]
+        rev_mask = mask[:, ::-1] if mask is not None else None
+        bwd, _ = self.backward_lstm(rev, mask=rev_mask)
+        bwd = bwd[:, ::-1, :]
+        return Tensor.concatenate([fwd, bwd], axis=2)

@@ -1,0 +1,17 @@
+"""Initial rankers: DIN (pointwise deep), SVMRank (pairwise linear),
+LambdaMART (listwise boosted trees)."""
+
+from .base import InitialRanker, pointwise_features
+from .din import DINRanker
+from .lambdamart import LambdaMARTRanker
+from .svmrank import SVMRankRanker
+from .trees import RegressionTree
+
+__all__ = [
+    "DINRanker",
+    "InitialRanker",
+    "LambdaMARTRanker",
+    "RegressionTree",
+    "SVMRankRanker",
+    "pointwise_features",
+]

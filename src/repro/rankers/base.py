@@ -1,0 +1,78 @@
+"""Initial-ranker interface and shared feature assembly.
+
+Initial rankers (the paper uses DIN, SVMRank, LambdaMART) are trained on
+(user, item, click) interactions and then score candidate sets to produce
+the initial ranking lists ``R`` consumed by every re-ranking model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.schema import Catalog, Population
+
+__all__ = ["InitialRanker", "pointwise_features"]
+
+
+def pointwise_features(
+    user_ids: np.ndarray,
+    item_ids: np.ndarray,
+    catalog: Catalog,
+    population: Population,
+) -> np.ndarray:
+    """Assemble per-(user, item) features for pointwise/pairwise rankers.
+
+    Concatenates user features, item features, topic coverage, and the
+    flattened outer product of user and item features — the cross term lets
+    even linear models (SVMRank) express user-item affinity.
+    """
+    user_ids = np.asarray(user_ids, dtype=np.int64).ravel()
+    item_ids = np.asarray(item_ids, dtype=np.int64).ravel()
+    xu = population.features[user_ids]
+    xv = catalog.features[item_ids]
+    tau = catalog.coverage[item_ids]
+    cross = (xu[:, :, None] * xv[:, None, :]).reshape(len(user_ids), -1)
+    return np.concatenate([xu, xv, tau, cross], axis=1)
+
+
+class InitialRanker:
+    """Base class: fit on interactions, then score (user, items) pairs."""
+
+    name = "base"
+
+    def fit(
+        self,
+        interactions: np.ndarray,
+        catalog: Catalog,
+        population: Population,
+        histories: list[np.ndarray] | None = None,
+    ) -> "InitialRanker":
+        """Train on an (n, 3) array of (user_id, item_id, click) rows."""
+        raise NotImplementedError
+
+    def score(
+        self,
+        user_ids: np.ndarray,
+        candidate_items: np.ndarray,
+        catalog: Catalog,
+        population: Population,
+        histories: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Score a (n, L) candidate matrix; returns (n, L) scores."""
+        raise NotImplementedError
+
+    def rank(
+        self,
+        user_ids: np.ndarray,
+        candidate_items: np.ndarray,
+        catalog: Catalog,
+        population: Population,
+        histories: list[np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sort candidates by score; returns (ordered items, ordered scores)."""
+        scores = self.score(
+            user_ids, candidate_items, catalog, population, histories=histories
+        )
+        order = np.argsort(-scores, axis=1)
+        rows = np.arange(len(candidate_items))[:, None]
+        return candidate_items[rows, order], scores[rows, order]

@@ -1,0 +1,44 @@
+"""Baseline re-rankers of the paper's evaluation (Tables II-IV).
+
+Relevance-oriented: DLCM, PRM, SetRank, SRGA.
+Diversity-aware: MMR, DPP, DESA, SSD.
+Personalized diversity: adpMMR, PD-GAN.
+"""
+
+from .adp_mmr import AdaptiveMMRReranker, diversity_propensity
+from .base import Reranker, identity_permutation
+from .desa import DESAReranker
+from .dlcm import DLCMReranker
+from .dpp import DPPReranker, build_dpp_kernel, fast_greedy_map
+from .mmr import MMRReranker, coverage_cosine, greedy_mmr
+from .neural import NeuralReranker, list_input_features
+from .pd_gan import PDGANReranker
+from .prm import PRMReranker
+from .seq2slate import Seq2SlateReranker
+from .setrank import SetRankReranker
+from .srga import SRGAReranker
+from .ssd import SSDReranker, orthogonal_residual_norm
+
+__all__ = [
+    "AdaptiveMMRReranker",
+    "DESAReranker",
+    "DLCMReranker",
+    "DPPReranker",
+    "MMRReranker",
+    "NeuralReranker",
+    "PDGANReranker",
+    "PRMReranker",
+    "Reranker",
+    "SRGAReranker",
+    "SSDReranker",
+    "Seq2SlateReranker",
+    "SetRankReranker",
+    "build_dpp_kernel",
+    "coverage_cosine",
+    "diversity_propensity",
+    "fast_greedy_map",
+    "greedy_mmr",
+    "identity_permutation",
+    "list_input_features",
+    "orthogonal_residual_norm",
+]

@@ -1,0 +1,56 @@
+"""Re-ranker interface shared by RAPID and all baselines.
+
+A re-ranker consumes a :class:`~repro.data.batching.RerankBatch` (user and
+item features, coverage, initial scores, history views) and produces a
+permutation of each list.  Score-based models implement
+:meth:`Reranker.score_batch`; greedy/sequential models (MMR, DPP, SSD,
+PD-GAN) override :meth:`Reranker.rerank` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.batching import RerankBatch
+from ..data.schema import Catalog, Population, RankingRequest
+
+__all__ = ["Reranker", "identity_permutation"]
+
+
+def identity_permutation(batch: RerankBatch) -> np.ndarray:
+    """(B, L) permutation that keeps the initial order."""
+    return np.tile(np.arange(batch.list_length), (batch.batch_size, 1))
+
+
+class Reranker:
+    """Base class; subclasses set ``name`` and implement scoring/reranking."""
+
+    name = "base"
+    requires_training = False
+
+    def fit(
+        self,
+        requests: Sequence[RankingRequest],
+        catalog: Catalog,
+        population: Population,
+        histories: list[np.ndarray],
+    ) -> "Reranker":
+        """Train on click-labeled requests.  No-op for heuristic models."""
+        return self
+
+    def score_batch(self, batch: RerankBatch) -> np.ndarray:
+        """Per-item ranking scores (B, L); higher ranks earlier."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not produce per-item scores"
+        )
+
+    def rerank(self, batch: RerankBatch) -> np.ndarray:
+        """(B, L) permutation indices into each list (best first).
+
+        Padded positions are always pushed to the back.
+        """
+        scores = np.array(self.score_batch(batch), dtype=np.float64, copy=True)
+        scores[~batch.mask] = -np.inf
+        return np.argsort(-scores, axis=1, kind="stable")

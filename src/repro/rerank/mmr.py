@@ -1,0 +1,93 @@
+"""MMR — Maximal Marginal Relevance (Carbonell & Goldstein, SIGIR 1998).
+
+Greedy list construction:
+``argmax_v  lambda * rel(v) - (1 - lambda) * max_{s in S} sim(v, s)``,
+with relevance taken from the initial ranker (min-max normalized per list)
+and similarity the cosine of the items' topic-coverage vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import RerankBatch
+from .base import Reranker
+
+__all__ = ["MMRReranker", "greedy_mmr", "coverage_cosine"]
+
+
+def coverage_cosine(coverage: np.ndarray) -> np.ndarray:
+    """(L, L) cosine similarity between item topic-coverage vectors."""
+    coverage = np.asarray(coverage, dtype=np.float64)
+    norms = np.linalg.norm(coverage, axis=1, keepdims=True)
+    safe = np.where(norms > 0, norms, 1.0)
+    unit = coverage / safe
+    return unit @ unit.T
+
+
+def greedy_mmr(
+    relevance: np.ndarray,
+    similarity: np.ndarray,
+    tradeoff: float,
+    valid: np.ndarray | None = None,
+) -> np.ndarray:
+    """Greedy MMR permutation of one list.
+
+    Parameters
+    ----------
+    relevance:
+        (L,) relevance scores (any scale; min-max normalized internally).
+    similarity:
+        (L, L) pairwise similarity in [0, 1].
+    tradeoff:
+        MMR lambda in [0, 1]; 1 = pure relevance.
+    valid:
+        Boolean mask of selectable positions; invalid ones go last.
+    """
+    if not 0.0 <= tradeoff <= 1.0:
+        raise ValueError("tradeoff must be in [0, 1]")
+    relevance = np.asarray(relevance, dtype=np.float64)
+    length = len(relevance)
+    valid = np.ones(length, dtype=bool) if valid is None else np.asarray(valid)
+    span = relevance[valid].max() - relevance[valid].min() if valid.any() else 0.0
+    if span > 0:
+        rel = (relevance - relevance[valid].min()) / span
+    else:
+        rel = np.zeros(length)
+
+    chosen: list[int] = []
+    remaining = [i for i in range(length) if valid[i]]
+    while remaining:
+        if chosen:
+            max_sim = similarity[np.ix_(remaining, chosen)].max(axis=1)
+        else:
+            max_sim = np.zeros(len(remaining))
+        scores = tradeoff * rel[remaining] - (1.0 - tradeoff) * max_sim
+        pick = remaining[int(np.argmax(scores))]
+        chosen.append(pick)
+        remaining.remove(pick)
+    chosen.extend(i for i in range(length) if not valid[i])
+    return np.asarray(chosen, dtype=np.int64)
+
+
+class MMRReranker(Reranker):
+    """Classic MMR with a global relevance-diversity tradeoff."""
+
+    name = "mmr"
+
+    def __init__(self, tradeoff: float = 0.8) -> None:
+        if not 0.0 <= tradeoff <= 1.0:
+            raise ValueError("tradeoff must be in [0, 1]")
+        self.tradeoff = tradeoff
+
+    def rerank(self, batch: RerankBatch) -> np.ndarray:
+        permutations = np.empty((batch.batch_size, batch.list_length), dtype=np.int64)
+        for row in range(batch.batch_size):
+            similarity = coverage_cosine(batch.coverage[row])
+            permutations[row] = greedy_mmr(
+                batch.initial_scores[row],
+                similarity,
+                self.tradeoff,
+                valid=batch.mask[row],
+            )
+        return permutations

@@ -1,0 +1,82 @@
+"""SSD — Sliding Spectrum Decomposition (Huang et al., KDD 2021).
+
+Sequentially selects the item maximizing
+``rel(v) + gamma * ||residual(v)||`` where the residual is the component of
+``v``'s descriptor orthogonal to the span of the last ``window`` selected
+items (computed by Gram-Schmidt).  The orthogonal-volume view of diversity
+captures how much "new spectrum" each item adds within the user's browsing
+window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import RerankBatch
+from .base import Reranker
+
+__all__ = ["SSDReranker", "orthogonal_residual_norm"]
+
+
+def orthogonal_residual_norm(vector: np.ndarray, basis: list[np.ndarray]) -> float:
+    """Norm of ``vector``'s component orthogonal to an orthonormal basis."""
+    residual = np.asarray(vector, dtype=np.float64).copy()
+    for direction in basis:
+        residual -= (residual @ direction) * direction
+    return float(np.linalg.norm(residual))
+
+
+class SSDReranker(Reranker):
+    """Greedy relevance + sliding-window orthogonal-volume re-ranker."""
+
+    name = "ssd"
+
+    def __init__(self, gamma: float = 0.4, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.gamma = gamma
+        self.window = window
+
+    def _rerank_row(
+        self, relevance: np.ndarray, descriptors: np.ndarray
+    ) -> np.ndarray:
+        length = len(relevance)
+        span = relevance.max() - relevance.min()
+        rel = (relevance - relevance.min()) / span if span > 0 else np.zeros(length)
+        norms = np.linalg.norm(descriptors, axis=1, keepdims=True)
+        unit = descriptors / np.where(norms > 0, norms, 1.0)
+
+        chosen: list[int] = []
+        chosen_vectors: list[np.ndarray] = []
+        remaining = list(range(length))
+        while remaining:
+            # Orthonormal basis of the sliding window (most recent picks).
+            basis: list[np.ndarray] = []
+            for vector in chosen_vectors[-self.window :]:
+                residual = vector.copy()
+                for direction in basis:
+                    residual -= (residual @ direction) * direction
+                norm = np.linalg.norm(residual)
+                if norm > 1e-10:
+                    basis.append(residual / norm)
+            scores = [
+                rel[i] + self.gamma * orthogonal_residual_norm(unit[i], basis)
+                for i in remaining
+            ]
+            pick = remaining[int(np.argmax(scores))]
+            chosen.append(pick)
+            chosen_vectors.append(unit[pick])
+            remaining.remove(pick)
+        return np.asarray(chosen, dtype=np.int64)
+
+    def rerank(self, batch: RerankBatch) -> np.ndarray:
+        permutations = np.empty((batch.batch_size, batch.list_length), dtype=np.int64)
+        for row in range(batch.batch_size):
+            valid = np.flatnonzero(batch.mask[row])
+            descriptors = np.concatenate(
+                [batch.coverage[row, valid], batch.item_features[row, valid]], axis=1
+            )
+            order = self._rerank_row(batch.initial_scores[row, valid], descriptors)
+            invalid = np.flatnonzero(~batch.mask[row])
+            permutations[row] = np.concatenate([valid[order], invalid])
+        return permutations

@@ -1,0 +1,26 @@
+"""Theoretical analysis substrate: linear RAPID bandit and regret (Sec. V)."""
+
+from .explorers import EpsilonGreedyLinearRapid, ThompsonLinearRapid
+from .linear_rapid import GreedyOraclePolicy, LinearDCMEnvironment, LinearRapidUCB
+from .regret import (
+    RegretResult,
+    compare_explorers,
+    run_regret_experiment,
+    theoretical_bound,
+)
+from .submodular import approximation_gamma, dcm_satisfaction, greedy_maximize
+
+__all__ = [
+    "EpsilonGreedyLinearRapid",
+    "GreedyOraclePolicy",
+    "LinearDCMEnvironment",
+    "LinearRapidUCB",
+    "RegretResult",
+    "ThompsonLinearRapid",
+    "approximation_gamma",
+    "compare_explorers",
+    "dcm_satisfaction",
+    "greedy_maximize",
+    "run_regret_experiment",
+    "theoretical_bound",
+]

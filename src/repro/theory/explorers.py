@@ -1,0 +1,86 @@
+"""Alternative exploration policies for the linear RAPID environment.
+
+Comparators for the regret study: the UCB learner of Theorem 5.1 is the
+analyzed algorithm; epsilon-greedy and Thompson sampling are the classical
+alternatives a practitioner would reach for.  All share the greedy
+sequential list construction, differing only in how candidate scores blend
+estimation and exploration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .linear_rapid import LinearDCMEnvironment, LinearRapidUCB
+
+__all__ = ["EpsilonGreedyLinearRapid", "ThompsonLinearRapid"]
+
+
+class EpsilonGreedyLinearRapid(LinearRapidUCB):
+    """Greedy exploitation with epsilon-probability random lists.
+
+    With probability ``epsilon`` the whole list is a random permutation of
+    the candidates (exploration round); otherwise the greedy construction
+    runs on the point estimate (no confidence bonus).
+    """
+
+    def __init__(
+        self,
+        env: LinearDCMEnvironment,
+        epsilon: float = 0.1,
+        ridge: float = 1.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(env, exploration=0.0, ridge=ridge)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self._rng = make_rng(seed)
+
+    def select(self, features: np.ndarray, coverage: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.epsilon:
+            order = self._rng.permutation(len(features))[: self.env.k]
+            return order.astype(np.int64)
+        return super().select(features, coverage)
+
+
+class ThompsonLinearRapid(LinearRapidUCB):
+    """Linear Thompson sampling: score with a posterior parameter draw.
+
+    Draws ``omega ~ N(omega_hat, v^2 M^{-1})`` once per round and runs the
+    greedy construction with the sampled parameter (no extra bonus).
+    """
+
+    def __init__(
+        self,
+        env: LinearDCMEnvironment,
+        posterior_scale: float = 0.5,
+        ridge: float = 1.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(env, exploration=0.0, ridge=ridge)
+        if posterior_scale < 0:
+            raise ValueError("posterior_scale must be >= 0")
+        self.posterior_scale = posterior_scale
+        self._rng = make_rng(seed)
+        self._sampled_omega: np.ndarray | None = None
+
+    def select(self, features: np.ndarray, coverage: np.ndarray) -> np.ndarray:
+        mean = self.omega_hat
+        # Sample from the ridge posterior via the Cholesky of M^{-1}.
+        chol = np.linalg.cholesky(
+            self._m_inverse + 1e-12 * np.eye(self.env.q0)
+        )
+        noise = self._rng.standard_normal(self.env.q0)
+        self._sampled_omega = mean + self.posterior_scale * chol @ noise
+        try:
+            return super().select(features, coverage)
+        finally:
+            self._sampled_omega = None
+
+    def _ucb(self, etas: np.ndarray) -> np.ndarray:
+        omega = (
+            self._sampled_omega if self._sampled_omega is not None else self.omega_hat
+        )
+        return np.clip(etas @ omega, 0.0, 1.0)

@@ -1,0 +1,207 @@
+"""Regret experiment for Theorem 5.1.
+
+Runs :class:`LinearRapidUCB` against the linear DCM environment and records
+the gamma-scaled cumulative regret of Eq. 12:
+
+    G_gamma(n) = sum_u [ f(S*_u, eps, phi*) - f(S_u, eps, phi*) / gamma ]
+
+together with the theorem's ``O~(q0 sqrt(n))`` bound.  The reproduction
+checks (i) the regret curve is sublinear (regret/n -> 0), and (ii) it stays
+below the theoretical bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .linear_rapid import GreedyOraclePolicy, LinearDCMEnvironment, LinearRapidUCB
+from .submodular import approximation_gamma
+
+__all__ = [
+    "RegretResult",
+    "theoretical_bound",
+    "run_regret_experiment",
+    "compare_explorers",
+]
+
+
+@dataclass
+class RegretResult:
+    """Cumulative regret trajectory and diagnostic quantities."""
+
+    cumulative_regret: np.ndarray  # gamma-scaled (Eq. 12), bounded by Thm 5.1
+    raw_regret: np.ndarray  # un-scaled oracle - learner (diagnostic)
+    bound: np.ndarray
+    gamma: float
+    exploration: float
+    per_round_oracle: np.ndarray = field(default_factory=lambda: np.empty(0))
+    per_round_learner: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def horizon(self) -> int:
+        return len(self.cumulative_regret)
+
+    def sublinearity_ratio(self) -> float:
+        """raw_regret(n)/n over raw_regret(n/2)/(n/2); < 1 means sublinear."""
+        n = self.horizon
+        half = max(n // 2, 1)
+        early = self.raw_regret[half - 1] / half
+        late = self.raw_regret[n - 1] / n
+        if early <= 0:
+            return 0.0
+        return float(late / early)
+
+
+def theoretical_bound(
+    n: int,
+    q0: int,
+    k: int,
+    gamma: float,
+    p_v: float,
+    exploration: float,
+    ridge: float = 1.0,
+) -> np.ndarray:
+    """Theorem 5.1 upper bound evaluated for horizons 1..n."""
+    steps = np.arange(1, n + 1, dtype=np.float64)
+    log_term = np.log(1.0 + steps * k / (q0 * ridge))
+    numerator = q0 * steps * log_term
+    denominator = np.log(1.0 + 1.0 / ridge)
+    return (
+        2.0 * p_v * exploration * k**2 / gamma * np.sqrt(numerator / denominator)
+        + 1.0
+    )
+
+
+def run_regret_experiment(
+    horizon: int = 2000,
+    num_candidates: int = 20,
+    feature_dim: int = 6,
+    num_topics: int = 4,
+    k: int = 5,
+    exploration: float | None = None,
+    seed: int = 0,
+    learner: "LinearRapidUCB | None" = None,
+    env: LinearDCMEnvironment | None = None,
+) -> RegretResult:
+    """Simulate a linear RAPID learner for ``horizon`` rounds.
+
+    Returns the gamma-scaled cumulative regret and the Theorem 5.1 bound.
+    ``exploration=None`` uses the theorem's prescription for ``s``.  A
+    custom ``learner`` (e.g. epsilon-greedy or Thompson sampling from
+    :mod:`repro.theory.explorers`) may be supplied to compare policies in
+    the same environment.
+    """
+    if env is None:
+        env = LinearDCMEnvironment.create(
+            feature_dim=feature_dim, num_topics=num_topics, k=k, seed=seed
+        )
+    rng = make_rng(seed + 1)
+    if exploration is None:
+        q0 = env.q0
+        exploration = float(
+            np.sqrt(q0 * np.log(1.0 + horizon * k / q0) + 2.0 * np.log(max(horizon, 2)))
+            + 1.0
+        )
+    if learner is None:
+        learner = LinearRapidUCB(env, exploration=exploration)
+    else:
+        exploration = max(learner.exploration, 1e-6)
+    oracle = GreedyOraclePolicy(env)
+
+    eps = env.termination
+    p_v = float(
+        np.max(np.diff(np.concatenate([eps, [0.0]])) * -1.0)
+    )  # max eps_k - eps_{k+1}
+
+    oracle_utils = np.empty(horizon)
+    learner_utils = np.empty(horizon)
+    phi_max = 0.0
+    for t in range(horizon):
+        features, coverage = env.sample_candidates(num_candidates, rng)
+
+        oracle_list = oracle.select(features, coverage)
+        phi_oracle = _list_attractions(env, features, coverage, oracle_list)
+        oracle_utils[t] = env.list_utility(phi_oracle)
+
+        learner_list = learner.select(features, coverage)
+        phi_learner = _list_attractions(env, features, coverage, learner_list)
+        learner_utils[t] = env.list_utility(phi_learner)
+        phi_max = max(phi_max, float(phi_learner.max(initial=0.0)))
+
+        clicks, examined = env.simulate_session(phi_learner, rng)
+        etas = _list_etas(env, features, coverage, learner_list)
+        learner.update(etas[examined], clicks[examined])
+
+    gamma = approximation_gamma(k, phi_max)
+    regret_steps = oracle_utils - learner_utils / gamma
+    cumulative = np.cumsum(regret_steps)
+    raw = np.cumsum(oracle_utils - learner_utils)
+    bound = theoretical_bound(horizon, env.q0, k, gamma, p_v, exploration)
+    return RegretResult(
+        cumulative_regret=cumulative,
+        raw_regret=raw,
+        bound=bound,
+        gamma=gamma,
+        exploration=exploration,
+        per_round_oracle=oracle_utils,
+        per_round_learner=learner_utils,
+    )
+
+
+def compare_explorers(
+    horizon: int = 1500,
+    seed: int = 0,
+    exploration: float = 0.5,
+    epsilon: float = 0.1,
+    posterior_scale: float = 0.5,
+) -> dict[str, RegretResult]:
+    """Run UCB, epsilon-greedy, and Thompson sampling in the same world.
+
+    All learners share the environment (same ``omega*``, same termination
+    schedule) but see their own candidate/click randomness.
+    """
+    from .explorers import EpsilonGreedyLinearRapid, ThompsonLinearRapid
+    from .linear_rapid import LinearRapidUCB
+
+    env = LinearDCMEnvironment.create(seed=seed)
+    learners = {
+        "ucb": LinearRapidUCB(env, exploration=exploration),
+        "epsilon-greedy": EpsilonGreedyLinearRapid(env, epsilon=epsilon, seed=seed),
+        "thompson": ThompsonLinearRapid(
+            env, posterior_scale=posterior_scale, seed=seed
+        ),
+    }
+    return {
+        name: run_regret_experiment(
+            horizon=horizon, seed=seed, learner=learner, env=env
+        )
+        for name, learner in learners.items()
+    }
+
+
+def _list_etas(
+    env: LinearDCMEnvironment,
+    features: np.ndarray,
+    coverage: np.ndarray,
+    order: np.ndarray,
+) -> np.ndarray:
+    prefix_cover = np.ones(env.num_topics)
+    etas = []
+    for item in order:
+        etas.append(
+            env.eta(features[item], coverage[item], prefix_cover)
+        )
+        prefix_cover = prefix_cover * (1.0 - coverage[item])
+    return np.asarray(etas)
+
+
+def _list_attractions(
+    env: LinearDCMEnvironment,
+    features: np.ndarray,
+    coverage: np.ndarray,
+    order: np.ndarray,
+) -> np.ndarray:
+    return env.attraction(_list_etas(env, features, coverage, order))

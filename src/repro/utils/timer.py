@@ -1,0 +1,42 @@
+"""Wall-clock timing utilities used by the efficiency study (Table VI)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "Timings"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Timings:
+    """Accumulates per-batch timings; reports mean milliseconds."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.samples:
+            return 0.0
+        return 1000.0 * sum(self.samples) / len(self.samples)

@@ -1,0 +1,29 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_probability_matrix", "check_positive", "check_in_range"]
+
+
+def check_probability_matrix(tau: np.ndarray, name: str = "tau") -> np.ndarray:
+    """Validate a topic-coverage matrix: entries must lie in [0, 1]."""
+    tau = np.asarray(tau, dtype=np.float64)
+    if tau.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (items x topics), got ndim={tau.ndim}")
+    if np.any(tau < -1e-9) or np.any(tau > 1.0 + 1e-9):
+        raise ValueError(f"{name} entries must be probabilities in [0, 1]")
+    return np.clip(tau, 0.0, 1.0)
+
+
+def check_positive(value: float, name: str) -> float:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

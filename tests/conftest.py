@@ -1,0 +1,51 @@
+"""Shared fixtures: tiny worlds and experiment bundles (session-scoped)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainConfig
+from repro.data import make_appstore_world, make_movielens_world, make_taobao_world
+from repro.eval import ExperimentConfig, prepare_bundle
+
+
+@pytest.fixture(scope="session")
+def taobao_world():
+    return make_taobao_world("tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def movielens_world():
+    return make_movielens_world("tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def appstore_world():
+    return make_appstore_world("tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return ExperimentConfig(
+        dataset="taobao",
+        scale="tiny",
+        tradeoff=0.5,
+        list_length=10,
+        num_train_requests=120,
+        num_test_requests=40,
+        ranker_interactions=800,
+        hidden=8,
+        train=TrainConfig(epochs=2, batch_size=32),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(tiny_config):
+    return prepare_bundle(tiny_config)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

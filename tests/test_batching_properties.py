@@ -1,0 +1,69 @@
+"""Property-based tests for history splitting and batch assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import split_history_by_topic
+
+
+@st.composite
+def history_and_coverage(draw):
+    num_items = draw(st.integers(5, 40))
+    num_topics = draw(st.integers(1, 6))
+    history_len = draw(st.integers(0, 25))
+    max_length = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    coverage = rng.random((num_items, num_topics))
+    history = rng.integers(0, num_items, size=history_len)
+    return history, coverage, num_topics, max_length
+
+
+class TestSplitHistoryProperties:
+    @given(history_and_coverage())
+    @settings(max_examples=50, deadline=None)
+    def test_output_shapes_and_padding(self, data):
+        history, coverage, num_topics, max_length = data
+        ids, mask = split_history_by_topic(history, coverage, num_topics, max_length)
+        assert ids.shape == (num_topics, max_length)
+        assert mask.shape == (num_topics, max_length)
+        # padding id -1 exactly where mask is False
+        assert ((ids == -1) == ~mask).all()
+        # masks are prefixes (valid entries come first)
+        for row in mask:
+            if row.any():
+                last_valid = np.flatnonzero(row)[-1]
+                assert row[: last_valid + 1].all()
+
+    @given(history_and_coverage())
+    @settings(max_examples=50, deadline=None)
+    def test_members_come_from_history(self, data):
+        history, coverage, num_topics, max_length = data
+        ids, mask = split_history_by_topic(history, coverage, num_topics, max_length)
+        history_set = set(history.tolist())
+        for topic in range(num_topics):
+            for item in ids[topic][mask[topic]]:
+                assert int(item) in history_set
+
+    @given(history_and_coverage())
+    @settings(max_examples=50, deadline=None)
+    def test_every_history_item_lands_somewhere(self, data):
+        """Each history item has a dominant topic, so each of the most
+        recent items must appear in at least one topical sequence."""
+        history, coverage, num_topics, max_length = data
+        if len(history) == 0:
+            return
+        ids, mask = split_history_by_topic(history, coverage, num_topics, max_length)
+        collected = set(ids[mask].tolist())
+        # the single most recent item always fits in its dominant sequence
+        assert int(history[-1]) in collected
+
+    @given(history_and_coverage())
+    @settings(max_examples=50, deadline=None)
+    def test_respects_max_length(self, data):
+        history, coverage, num_topics, max_length = data
+        _, mask = split_history_by_topic(history, coverage, num_topics, max_length)
+        assert mask.sum(axis=1).max(initial=0) <= max_length

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro.eval`` command-line runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "taobao"
+        assert args.tradeoff == 0.5
+        assert "rapid-pro" in args.models
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "netflix"])
+
+    def test_model_subset(self):
+        args = build_parser().parse_args(["--models", "init", "mmr"])
+        assert args.models == ["init", "mmr"]
+
+
+class TestMain:
+    def test_tiny_run(self, capsys):
+        code = main(
+            [
+                "--dataset",
+                "taobao",
+                "--scale",
+                "tiny",
+                "--models",
+                "init",
+                "mmr",
+                "--list-length",
+                "8",
+                "--train-requests",
+                "40",
+                "--test-requests",
+                "20",
+                "--ranker-interactions",
+                "300",
+                "--epochs",
+                "1",
+                "--hidden",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "click@5" in out
+        assert "mmr" in out
+
+    def test_appstore_uses_logged_mode(self, capsys):
+        code = main(
+            [
+                "--dataset",
+                "appstore",
+                "--scale",
+                "tiny",
+                "--models",
+                "init",
+                "--list-length",
+                "8",
+                "--train-requests",
+                "30",
+                "--test-requests",
+                "15",
+                "--ranker-interactions",
+                "200",
+                "--epochs",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "rev@5" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Tests for the alternative click models (cascade, position-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.click import CascadeClickModel, PositionBasedModel
+
+
+class TestCascadeClickModel:
+    @pytest.fixture(scope="class")
+    def cascade(self, taobao_world):
+        return CascadeClickModel(taobao_world, tradeoff=0.5)
+
+    def test_at_most_one_click_per_session(self, cascade):
+        rng = np.random.default_rng(0)
+        items = np.arange(10)
+        for _ in range(100):
+            clicks = cascade.simulate(0, items, rng)
+            assert clicks.sum() <= 1.0
+
+    def test_click_is_first_attractive(self, cascade):
+        """With full information, the realistic session's click (if any)
+        must be the first attracted position."""
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        items = np.arange(10)
+        full = cascade.simulate(0, items, rng_a, full_information=True)
+        session = cascade.simulate(0, items, rng_b)
+        attracted = np.flatnonzero(full)
+        if attracted.size:
+            assert session[attracted[0]] == 1.0
+            assert session.sum() == 1.0
+        else:
+            assert session.sum() == 0.0
+
+    def test_termination_always_one(self, cascade):
+        assert np.allclose(cascade.termination_probabilities(6), 1.0)
+
+    def test_expected_clicks_closed_form(self, cascade):
+        items = np.arange(8)
+        phi = cascade.attraction_probabilities(0, items)
+        expected = 1.0 - np.prod(1.0 - phi[:5])
+        assert cascade.expected_clicks(0, items, 5) == pytest.approx(expected)
+
+    def test_shares_dcm_attraction(self, taobao_world):
+        from repro.click import DependentClickModel
+
+        cascade = CascadeClickModel(taobao_world, tradeoff=0.5)
+        dcm = DependentClickModel(taobao_world, tradeoff=0.5)
+        items = np.arange(10)
+        assert np.allclose(
+            cascade.attraction_probabilities(3, items),
+            dcm.attraction_probabilities(3, items),
+        )
+
+
+class TestPositionBasedModel:
+    @pytest.fixture(scope="class")
+    def pbm(self, taobao_world):
+        return PositionBasedModel(taobao_world, tradeoff=0.5)
+
+    def test_examination_decays_with_rank(self, pbm):
+        exam = pbm.examination_probabilities(8)
+        assert exam[0] == pytest.approx(1.0)
+        assert (np.diff(exam) < 0).all()
+
+    def test_zero_decay_examines_everything(self, taobao_world):
+        pbm = PositionBasedModel(taobao_world, examination_decay=0.0)
+        assert np.allclose(pbm.examination_probabilities(5), 1.0)
+
+    def test_expected_clicks_formula(self, pbm):
+        items = np.arange(6)
+        phi = pbm.attraction_probabilities(0, items)
+        exam = pbm.examination_probabilities(6)
+        assert pbm.expected_clicks(0, items, 6) == pytest.approx(
+            float((phi * exam).sum())
+        )
+
+    def test_full_information_ignores_examination(self, pbm):
+        rng = np.random.default_rng(0)
+        items = np.arange(10)
+        full = np.vstack(
+            [pbm.simulate(0, items, rng, full_information=True) for _ in range(400)]
+        )
+        censored = np.vstack(
+            [pbm.simulate(0, items, rng) for _ in range(400)]
+        )
+        # Late positions are examined rarely -> censored click rate lower.
+        assert censored[:, -1].mean() < full[:, -1].mean()
+
+    def test_invalid_parameters(self, taobao_world):
+        with pytest.raises(ValueError):
+            PositionBasedModel(taobao_world, tradeoff=2.0)
+        with pytest.raises(ValueError):
+            PositionBasedModel(taobao_world, examination_decay=-1.0)
+
+    def test_clicks_independent_of_earlier_clicks(self, pbm):
+        """Unlike the cascade, multiple clicks can occur."""
+        rng = np.random.default_rng(1)
+        items = np.arange(10)
+        totals = [pbm.simulate(0, items, rng).sum() for _ in range(300)]
+        assert max(totals) > 1.0

@@ -1,0 +1,182 @@
+"""Dependent Click Model tests: simulation, closed forms, MLE recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.click import (
+    DependentClickModel,
+    coverage_gain,
+    expected_clicks_curve,
+    fit_dcm,
+    satisfaction_probability,
+)
+
+
+class TestCoverageGain:
+    def test_first_item_gets_full_coverage(self):
+        coverage = np.array([[0.8, 0.0], [0.8, 0.5]])
+        zeta = coverage_gain(coverage)
+        assert np.allclose(zeta[0], [0.8, 0.0])
+        # second item's topic-0 gain is discounted by the first item
+        assert zeta[1, 0] == pytest.approx(0.8 * 0.2)
+        assert zeta[1, 1] == pytest.approx(0.5)
+
+    def test_gains_sum_to_total_coverage(self):
+        rng = np.random.default_rng(0)
+        coverage = rng.random((6, 4))
+        zeta = coverage_gain(coverage)
+        total = 1.0 - np.prod(1.0 - coverage, axis=0)
+        assert np.allclose(zeta.sum(axis=0), total)
+
+    def test_onehot_only_first_of_topic_gains(self):
+        coverage = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        zeta = coverage_gain(coverage)
+        assert np.allclose(zeta, [[1, 0], [0, 0], [0, 1]])
+
+
+class TestClosedForms:
+    def test_expected_clicks_monotone_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        phi, eps = rng.random(8), rng.random(8)
+        curve = expected_clicks_curve(phi, eps)
+        assert (np.diff(curve) >= -1e-12).all()
+
+    def test_expected_clicks_no_termination(self):
+        phi = np.array([0.5, 0.5, 0.5])
+        curve = expected_clicks_curve(phi, np.zeros(3))
+        assert np.allclose(curve, [0.5, 1.0, 1.5])
+
+    def test_expected_clicks_certain_termination(self):
+        phi = np.array([1.0, 1.0])
+        curve = expected_clicks_curve(phi, np.ones(2))
+        assert np.allclose(curve, [1.0, 1.0])  # session ends at position 1
+
+    def test_satisfaction_formula(self):
+        phi = np.array([0.5, 0.5])
+        eps = np.array([0.4, 0.4])
+        satis = satisfaction_probability(phi, eps)
+        assert satis[0] == pytest.approx(0.2)
+        assert satis[1] == pytest.approx(1 - 0.8 * 0.8)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_satisfaction_in_unit_interval_and_monotone(self, seed):
+        rng = np.random.default_rng(seed)
+        phi, eps = rng.random(6), rng.random(6)
+        satis = satisfaction_probability(phi, eps)
+        assert ((satis >= 0) & (satis <= 1)).all()
+        assert (np.diff(satis) >= -1e-12).all()
+
+
+class TestDependentClickModel:
+    @pytest.fixture(scope="class")
+    def dcm(self, taobao_world):
+        return DependentClickModel(taobao_world, tradeoff=0.5)
+
+    def test_attraction_in_unit_interval(self, dcm, taobao_world):
+        items = np.arange(10)
+        phi = dcm.attraction_probabilities(0, items)
+        assert ((phi >= 0) & (phi <= 1)).all()
+
+    def test_tradeoff_one_is_pure_relevance(self, taobao_world):
+        dcm = DependentClickModel(taobao_world, tradeoff=1.0)
+        items = np.arange(8)
+        phi = dcm.attraction_probabilities(2, items)
+        assert np.allclose(phi, taobao_world.relevance_matrix()[2, items])
+
+    def test_diversity_raises_attraction_of_novel_items(self, appstore_world):
+        """Under lambda < 1, an item's attraction is higher when it is the
+        first of its topic than when a same-topic item precedes it.  Uses
+        the one-hot App Store world where topic membership is exact."""
+        dcm = DependentClickModel(appstore_world, tradeoff=0.5)
+        coverage = appstore_world.catalog.coverage
+        dominant = coverage.argmax(axis=1)
+        # pick a user whose rho is positive on the target topic
+        topic = dominant[0]
+        user = int(np.argmax(appstore_world.population.diversity_weight[:, topic]))
+        same = np.flatnonzero(dominant == topic)[:2]
+        other = np.flatnonzero(dominant != topic)[0]
+        target = same[1]
+        phi_first = dcm.attraction_probabilities(user, np.array([other, target]))
+        phi_second = dcm.attraction_probabilities(user, np.array([same[0], target]))
+        assert phi_first[1] > phi_second[1]
+
+    def test_termination_non_increasing(self, dcm):
+        eps = dcm.termination_probabilities(10)
+        assert (np.diff(eps) <= 0).all()
+        assert ((eps >= 0) & (eps <= 1)).all()
+
+    def test_simulate_full_information_unmasks_tail(self, dcm):
+        rng = np.random.default_rng(0)
+        items = np.arange(10)
+        # Realistic sessions stop after a satisfied click; full-information
+        # sessions can have clicks anywhere.  Check via many simulations.
+        realistic = np.vstack(
+            [dcm.simulate(0, items, rng) for _ in range(300)]
+        )
+        full = np.vstack(
+            [dcm.simulate(0, items, rng, full_information=True) for _ in range(300)]
+        )
+        assert full[:, -1].mean() > realistic[:, -1].mean()
+
+    def test_simulate_respects_termination_semantics(self, dcm):
+        rng = np.random.default_rng(1)
+        items = np.arange(10)
+        for _ in range(50):
+            clicks = dcm.simulate(0, items, rng)
+            assert set(np.unique(clicks)) <= {0.0, 1.0}
+
+    def test_expected_clicks_and_satisfaction_scalars(self, dcm):
+        items = np.arange(10)
+        assert 0 <= dcm.expected_clicks(0, items, 5) <= 5
+        assert 0 <= dcm.satisfaction(0, items, 5) <= 1
+
+    def test_invalid_tradeoff_raises(self, taobao_world):
+        with pytest.raises(ValueError):
+            DependentClickModel(taobao_world, tradeoff=1.5)
+
+
+class TestFitDCM:
+    def test_recovers_attraction_ordering(self):
+        """MLE attraction estimates should rank items like the truth."""
+        rng = np.random.default_rng(0)
+        num_items = 20
+        true_phi = np.linspace(0.1, 0.8, num_items)
+        eps = np.full(10, 0.3)
+        lists, clicks = [], []
+        for _ in range(3000):
+            items = rng.choice(num_items, size=10, replace=False)
+            y = np.zeros(10)
+            for k, item in enumerate(items):
+                if rng.random() < true_phi[item]:
+                    y[k] = 1.0
+                    if rng.random() < eps[k]:
+                        break
+            lists.append(items)
+            clicks.append(y)
+        fitted = fit_dcm(lists, clicks, num_items)
+        corr = np.corrcoef(fitted.attraction, true_phi)[0, 1]
+        assert corr > 0.9
+
+    def test_termination_estimates_in_range(self):
+        rng = np.random.default_rng(1)
+        lists = [rng.choice(10, size=5, replace=False) for _ in range(200)]
+        clicks = [(rng.random(5) < 0.4).astype(float) for _ in range(200)]
+        fitted = fit_dcm(lists, clicks, 10)
+        assert ((fitted.termination >= 0) & (fitted.termination <= 1)).all()
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            fit_dcm([np.array([1])], [], 5)
+
+    def test_smoothing_handles_unseen_items(self):
+        fitted = fit_dcm(
+            [np.array([0, 1])], [np.array([1.0, 0.0])], num_items=5
+        )
+        assert np.isfinite(fitted.attraction).all()
+        # unseen items get the prior 0.5
+        assert fitted.attraction[4] == pytest.approx(0.5)

@@ -1,0 +1,82 @@
+"""Monte Carlo agreement tests: simulated DCM sessions vs closed forms.
+
+The expected-clicks and satisfaction formulas drive all `expected`-mode
+evaluation, so they must agree with the empirical averages of the actual
+session simulator — this is the evaluator's ground-truth contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.click import DependentClickModel
+from repro.click.dcm import expected_clicks_curve, satisfaction_probability
+
+
+@pytest.fixture(scope="module")
+def scenario(taobao_world):
+    dcm = DependentClickModel(taobao_world, tradeoff=0.5)
+    items = np.arange(10)
+    user = 3
+    return dcm, user, items
+
+
+NUM_SESSIONS = 4000
+
+
+class TestMonteCarloAgreement:
+    def test_expected_clicks_matches_simulation(self, scenario):
+        dcm, user, items = scenario
+        rng = np.random.default_rng(0)
+        totals = np.zeros(len(items))
+        for _ in range(NUM_SESSIONS):
+            totals += dcm.simulate(user, items, rng)
+        empirical = np.cumsum(totals) / NUM_SESSIONS
+        phi = dcm.attraction_probabilities(user, items)
+        eps = dcm.termination_probabilities(len(items))
+        theoretical = expected_clicks_curve(phi, eps)
+        assert np.allclose(empirical, theoretical, atol=0.05)
+
+    def test_satisfaction_matches_simulation(self, scenario):
+        """satis@k = P(a click followed by satisfied exit within top-k).
+
+        Simulate sessions and record whether the user terminated (exited
+        satisfied) at a position <= k.
+        """
+        dcm, user, items = scenario
+        phi = dcm.attraction_probabilities(user, items)
+        eps = dcm.termination_probabilities(len(items))
+        rng = np.random.default_rng(1)
+        k = 5
+        satisfied = 0
+        for _ in range(NUM_SESSIONS):
+            for position in range(k):
+                if rng.random() < phi[position]:
+                    if rng.random() < eps[position]:
+                        satisfied += 1
+                        break
+        empirical = satisfied / NUM_SESSIONS
+        theoretical = satisfaction_probability(phi, eps)[k - 1]
+        assert empirical == pytest.approx(theoretical, abs=0.03)
+
+    def test_full_information_click_rate_equals_phi(self, scenario):
+        dcm, user, items = scenario
+        rng = np.random.default_rng(2)
+        totals = np.zeros(len(items))
+        for _ in range(NUM_SESSIONS):
+            totals += dcm.simulate(user, items, rng, full_information=True)
+        empirical = totals / NUM_SESSIONS
+        phi = dcm.attraction_probabilities(user, items)
+        assert np.allclose(empirical, phi, atol=0.05)
+
+    def test_censored_click_rate_below_full_information(self, scenario):
+        dcm, user, items = scenario
+        rng = np.random.default_rng(3)
+        censored = np.zeros(len(items))
+        full = np.zeros(len(items))
+        for _ in range(1500):
+            censored += dcm.simulate(user, items, rng)
+            full += dcm.simulate(user, items, rng, full_information=True)
+        # Equality can hold at position 0; deeper positions must be censored.
+        assert censored[3:].sum() < full[3:].sum()

@@ -1,0 +1,129 @@
+"""Property-based tests for the coverage math of Eq. 4-5."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import incremental_coverage, marginal_diversity, probabilistic_coverage
+
+coverage_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 8), st.integers(1, 5)),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestProbabilisticCoverage:
+    def test_single_item_is_its_tau(self):
+        tau = np.array([[0.3, 0.7]])
+        assert np.allclose(probabilistic_coverage(tau), [0.3, 0.7])
+
+    def test_batched(self):
+        tau = np.random.default_rng(0).random((4, 6, 3))
+        out = probabilistic_coverage(tau)
+        assert out.shape == (4, 3)
+
+    @given(coverage_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_under_item_addition(self, tau):
+        """Adding an item never decreases coverage (monotonicity)."""
+        if len(tau) < 2:
+            return
+        smaller = probabilistic_coverage(tau[:-1])
+        larger = probabilistic_coverage(tau)
+        assert (larger >= smaller - 1e-12).all()
+
+    @given(coverage_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_submodularity(self, tau):
+        """Marginal gain of an item shrinks as the base set grows."""
+        if len(tau) < 3:
+            return
+        new_item = tau[-1:]
+        small_base = tau[:1]
+        big_base = tau[:-1]
+        gain_small = probabilistic_coverage(
+            np.vstack([small_base, new_item])
+        ) - probabilistic_coverage(small_base)
+        gain_big = probabilistic_coverage(
+            np.vstack([big_base, new_item])
+        ) - probabilistic_coverage(big_base)
+        assert (gain_small >= gain_big - 1e-12).all()
+
+    @given(coverage_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_unit_interval(self, tau):
+        out = probabilistic_coverage(tau)
+        assert ((out >= -1e-12) & (out <= 1.0 + 1e-12)).all()
+
+
+class TestMarginalDiversity:
+    def test_leave_one_out_identity(self):
+        """d[i] = c(R) - c(R \\ {i}) exactly, for every i."""
+        rng = np.random.default_rng(0)
+        tau = rng.random((6, 4))
+        d = marginal_diversity(tau)
+        full = probabilistic_coverage(tau)
+        for i in range(6):
+            without = probabilistic_coverage(np.delete(tau, i, axis=0))
+            assert np.allclose(d[i], full - without, atol=1e-12)
+
+    def test_handles_certain_coverage(self):
+        """tau = 1 rows must not produce NaN/inf (no division used)."""
+        tau = np.array([[1.0, 0.0], [1.0, 0.5], [0.0, 1.0]])
+        d = marginal_diversity(tau)
+        assert np.isfinite(d).all()
+        # duplicated certain topic -> zero marginal for both copies
+        assert d[0, 0] == 0.0
+        assert d[1, 0] == 0.0
+
+    def test_unique_topic_item_gets_full_marginal(self):
+        tau = np.array([[1.0, 0.0], [0.0, 1.0]])
+        d = marginal_diversity(tau)
+        assert np.allclose(d, np.eye(2))
+
+    def test_batched_matches_loop(self):
+        rng = np.random.default_rng(1)
+        tau = rng.random((3, 5, 2))
+        batched = marginal_diversity(tau)
+        for b in range(3):
+            assert np.allclose(batched[b], marginal_diversity(tau[b]))
+
+    @given(coverage_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, tau):
+        d = marginal_diversity(tau)
+        assert ((d >= -1e-12) & (d <= 1.0 + 1e-12)).all()
+
+
+class TestIncrementalCoverage:
+    def test_matches_sequential_definition(self):
+        rng = np.random.default_rng(2)
+        tau = rng.random((5, 3))
+        zeta = incremental_coverage(tau)
+        for k in range(5):
+            gain = probabilistic_coverage(tau[: k + 1]) - (
+                probabilistic_coverage(tau[:k]) if k else 0.0
+            )
+            assert np.allclose(zeta[k], gain, atol=1e-12)
+
+    def test_sums_to_total_coverage(self):
+        rng = np.random.default_rng(3)
+        tau = rng.random((7, 4))
+        assert np.allclose(
+            incremental_coverage(tau).sum(axis=0), probabilistic_coverage(tau)
+        )
+
+    def test_first_position_full_tau(self):
+        tau = np.random.default_rng(4).random((4, 2))
+        assert np.allclose(incremental_coverage(tau)[0], tau[0])
+
+    def test_batched(self):
+        tau = np.random.default_rng(5).random((2, 4, 3))
+        out = incremental_coverage(tau)
+        assert out.shape == (2, 4, 3)
+        assert np.allclose(out[0], incremental_coverage(tau[0]))

@@ -1,0 +1,141 @@
+"""Tests for the alternative submodular coverage functions (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    incremental_coverage,
+    incremental_gain,
+    log_coverage,
+    saturating_coverage,
+)
+
+coverage_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 7), st.integers(1, 4)),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestSaturatingCoverage:
+    def test_empty_ish_item_contributes_nothing(self):
+        tau = np.array([[0.0, 0.0]])
+        assert np.allclose(saturating_coverage(tau), 0.0)
+
+    @given(coverage_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone(self, tau):
+        if len(tau) < 2:
+            return
+        assert (
+            saturating_coverage(tau) >= saturating_coverage(tau[:-1]) - 1e-12
+        ).all()
+
+    @given(coverage_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_submodular(self, tau):
+        if len(tau) < 3:
+            return
+        item = tau[-1:]
+        gain_small = saturating_coverage(np.vstack([tau[:1], item])) - (
+            saturating_coverage(tau[:1])
+        )
+        gain_big = saturating_coverage(np.vstack([tau[:-1], item])) - (
+            saturating_coverage(tau[:-1])
+        )
+        assert (gain_small >= gain_big - 1e-12).all()
+
+    def test_bounded_by_one(self):
+        tau = np.ones((50, 3))
+        assert (saturating_coverage(tau) <= 1.0).all()
+        # a modest sum stays strictly below saturation
+        assert (saturating_coverage(np.full((2, 3), 0.5)) < 1.0).all()
+
+
+class TestLogCoverage:
+    @given(coverage_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone(self, tau):
+        if len(tau) < 2:
+            return
+        assert (log_coverage(tau) >= log_coverage(tau[:-1]) - 1e-12).all()
+
+    @given(coverage_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_submodular(self, tau):
+        if len(tau) < 3:
+            return
+        item = tau[-1:]
+        gain_small = log_coverage(np.vstack([tau[:1], item])) - log_coverage(tau[:1])
+        gain_big = log_coverage(np.vstack([tau[:-1], item])) - log_coverage(tau[:-1])
+        assert (gain_small >= gain_big - 1e-12).all()
+
+
+class TestIncrementalGain:
+    def test_probabilistic_dispatch(self):
+        tau = np.random.default_rng(0).random((5, 3))
+        assert np.allclose(
+            incremental_gain(tau, "probabilistic"), incremental_coverage(tau)
+        )
+
+    @pytest.mark.parametrize("kind", ["saturating", "log"])
+    def test_gains_telescoping(self, kind):
+        tau = np.random.default_rng(1).random((6, 3))
+        gains = incremental_gain(tau, kind)
+        function = saturating_coverage if kind == "saturating" else log_coverage
+        assert np.allclose(gains.sum(axis=0), function(tau))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            incremental_gain(np.zeros((2, 2)), "linear")
+
+    def test_batched(self):
+        tau = np.random.default_rng(2).random((3, 4, 2))
+        gains = incremental_gain(tau, "saturating")
+        assert gains.shape == tau.shape
+        assert np.allclose(gains[1], incremental_gain(tau[1], "saturating"))
+
+
+class TestRapidWithAlternativeCoverage:
+    def test_variant_builds_and_scores(self, taobao_world):
+        from repro.core import RapidConfig, RapidModel
+        from repro.data import RankingRequest, build_batch
+
+        world = taobao_world
+        histories = world.sample_histories()
+        rng = np.random.default_rng(0)
+        requests = [
+            RankingRequest(
+                0,
+                rng.choice(world.config.num_items, size=6, replace=False),
+                rng.normal(size=6),
+            )
+        ]
+        batch = build_batch(requests, world.catalog, world.population, histories)
+        config = RapidConfig(
+            user_dim=world.population.feature_dim,
+            item_dim=world.catalog.feature_dim,
+            num_topics=5,
+            hidden=8,
+            coverage_kind="saturating",
+        )
+        scores = RapidModel(config).inference_scores(batch)
+        assert scores.shape == (1, 6)
+
+    def test_leave_one_out_rejects_alternative_kind(self):
+        from repro.core import RapidConfig, RapidModel
+
+        config = RapidConfig(
+            user_dim=4,
+            item_dim=4,
+            num_topics=3,
+            marginal_mode="leave_one_out",
+            coverage_kind="log",
+        )
+        with pytest.raises(ValueError):
+            RapidModel(config)

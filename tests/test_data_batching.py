@@ -1,0 +1,177 @@
+"""Batch assembly tests: padding, masks, topic-split histories, observation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    RankingRequest,
+    build_batch,
+    iterate_batches,
+    split_history_by_topic,
+)
+
+
+def _requests(world, n=6, length=8, clicks=True, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    requests = []
+    for _ in range(n):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=length, replace=False)
+        scores = rng.normal(size=length)
+        y = (rng.random(length) < 0.3).astype(float) if clicks else None
+        requests.append(RankingRequest(user, items, scores, clicks=y))
+    return requests
+
+
+class TestSplitHistoryByTopic:
+    def test_dominant_topic_membership(self, taobao_world):
+        history = np.arange(20)
+        ids, mask = split_history_by_topic(
+            history, taobao_world.catalog.coverage, 5, max_length=5
+        )
+        assert ids.shape == (5, 5)
+        dominant = taobao_world.catalog.coverage[:20].argmax(axis=1)
+        for topic in range(5):
+            members = ids[topic][mask[topic]]
+            own = history[dominant == topic]
+            # every dominant-topic item in the last window must appear
+            for item in own[-5:]:
+                assert item in members
+
+    def test_keeps_most_recent(self):
+        coverage = np.ones((30, 1))  # single topic, everything belongs
+        ids, mask = split_history_by_topic(np.arange(30), coverage, 1, max_length=5)
+        assert np.array_equal(ids[0][mask[0]], [25, 26, 27, 28, 29])
+
+    def test_empty_history(self):
+        ids, mask = split_history_by_topic(np.array([]), np.ones((5, 2)), 2, 4)
+        assert not mask.any()
+        assert (ids == -1).all()
+
+    def test_time_order_preserved(self):
+        coverage = np.ones((10, 1))
+        ids, mask = split_history_by_topic(
+            np.array([3, 9, 1, 7]), coverage, 1, max_length=10
+        )
+        assert np.array_equal(ids[0][mask[0]], [3, 9, 1, 7])
+
+
+class TestBuildBatch:
+    def test_shapes(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        requests = _requests(world)
+        batch = build_batch(requests, world.catalog, world.population, histories)
+        assert batch.batch_size == 6
+        assert batch.list_length == 8
+        assert batch.item_features.shape == (6, 8, world.catalog.feature_dim)
+        assert batch.coverage.shape == (6, 8, 5)
+        assert batch.topic_history_features.shape[:3] == (6, 5, 5)
+        assert batch.mask.all()
+
+    def test_variable_lengths_padded_and_masked(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        short = RankingRequest(0, np.array([1, 2]), np.array([0.5, 0.1]))
+        longer = RankingRequest(1, np.array([3, 4, 5]), np.array([3.0, 2.0, 1.0]))
+        batch = build_batch([short, longer], world.catalog, world.population, histories)
+        assert batch.list_length == 3
+        assert batch.mask[0, 2] == False  # noqa: E712
+        assert np.allclose(batch.item_features[0, 2], 0.0)
+
+    def test_features_match_catalog(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        requests = _requests(world, n=2)
+        batch = build_batch(requests, world.catalog, world.population, histories)
+        item = requests[0].items[3]
+        assert np.allclose(
+            batch.item_features[0, 3], world.catalog.features[item]
+        )
+        assert np.allclose(
+            batch.user_features[1],
+            world.population.features[requests[1].user_id],
+        )
+
+    def test_observed_prefix_censoring(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        clicks = np.array([0.0, 1.0, 0.0, 1.0, 0.0, 0.0])
+        request = RankingRequest(
+            0, np.arange(6), np.zeros(6), clicks=clicks, fully_observed=False
+        )
+        batch = build_batch([request], world.catalog, world.population, histories)
+        # observed up to the last click (index 3), censored after
+        assert batch.observed[0, :4].all()
+        assert not batch.observed[0, 4:].any()
+        assert np.array_equal(batch.training_mask[0], batch.observed[0])
+
+    def test_fully_observed_request_not_censored(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        clicks = np.array([0.0, 1.0, 0.0])
+        request = RankingRequest(
+            0, np.arange(3), np.zeros(3), clicks=clicks, fully_observed=True
+        )
+        batch = build_batch([request], world.catalog, world.population, histories)
+        assert batch.observed[0].all()
+
+    def test_no_clicks_means_all_observed(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        request = RankingRequest(0, np.arange(4), np.zeros(4), clicks=np.zeros(4))
+        batch = build_batch([request], world.catalog, world.population, histories)
+        assert batch.observed[0].all()
+
+    def test_bids_populated_for_appstore(self, appstore_world):
+        world = appstore_world
+        histories = world.sample_histories()
+        requests = _requests(world, n=3)
+        batch = build_batch(requests, world.catalog, world.population, histories)
+        assert batch.bids is not None
+        assert np.allclose(batch.bids[0], world.catalog.bids[requests[0].items])
+
+    def test_empty_request_list_raises(self, taobao_world):
+        with pytest.raises(ValueError):
+            build_batch([], taobao_world.catalog, taobao_world.population, [])
+
+
+class TestIterateBatches:
+    def test_covers_all_requests_once(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        requests = _requests(world, n=10)
+        batches = list(
+            iterate_batches(
+                requests, world.catalog, world.population, histories, batch_size=4
+            )
+        )
+        assert [b.batch_size for b in batches] == [4, 4, 2]
+        seen = np.concatenate([b.user_ids for b in batches])
+        assert sorted(seen) == sorted(r.user_id for r in requests)
+
+    def test_shuffle_reproducible_by_seed(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        requests = _requests(world, n=10)
+        a = next(
+            iterate_batches(
+                requests, world.catalog, world.population, histories, 4, seed=3
+            )
+        )
+        b = next(
+            iterate_batches(
+                requests, world.catalog, world.population, histories, 4, seed=3
+            )
+        )
+        assert np.array_equal(a.user_ids, b.user_ids)
+
+    def test_invalid_batch_size(self, taobao_world):
+        with pytest.raises(ValueError):
+            list(
+                iterate_batches(
+                    [], taobao_world.catalog, taobao_world.population, [], 0
+                )
+            )

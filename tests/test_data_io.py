@@ -1,0 +1,96 @@
+"""Tests for dataset persistence (save/load round trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    RankingRequest,
+    load_catalog,
+    load_histories,
+    load_population,
+    load_requests,
+    save_catalog,
+    save_histories,
+    save_population,
+    save_requests,
+)
+
+
+class TestCatalogIO:
+    def test_roundtrip(self, taobao_world, tmp_path):
+        catalog = taobao_world.catalog
+        path = save_catalog(catalog, tmp_path / "catalog")
+        loaded = load_catalog(path)
+        assert np.array_equal(loaded.features, catalog.features)
+        assert np.array_equal(loaded.coverage, catalog.coverage)
+        assert loaded.bids is None
+
+    def test_roundtrip_with_bids(self, appstore_world, tmp_path):
+        path = save_catalog(appstore_world.catalog, tmp_path / "apps")
+        loaded = load_catalog(path)
+        assert np.array_equal(loaded.bids, appstore_world.catalog.bids)
+
+
+class TestPopulationIO:
+    def test_roundtrip(self, taobao_world, tmp_path):
+        population = taobao_world.population
+        path = save_population(population, tmp_path / "pop")
+        loaded = load_population(path)
+        assert np.array_equal(loaded.features, population.features)
+        assert np.array_equal(loaded.topic_preference, population.topic_preference)
+        assert np.array_equal(loaded.diversity_weight, population.diversity_weight)
+
+
+class TestRequestsIO:
+    def _requests(self, with_clicks=True):
+        rng = np.random.default_rng(0)
+        return [
+            RankingRequest(
+                user_id=i,
+                items=rng.choice(50, size=6, replace=False),
+                initial_scores=rng.normal(size=6),
+                clicks=(rng.random(6) < 0.3).astype(float) if with_clicks else None,
+                fully_observed=bool(i % 2),
+            )
+            for i in range(5)
+        ]
+
+    def test_roundtrip_with_clicks(self, tmp_path):
+        requests = self._requests()
+        path = save_requests(requests, tmp_path / "reqs")
+        loaded = load_requests(path)
+        assert len(loaded) == 5
+        for a, b in zip(requests, loaded):
+            assert a.user_id == b.user_id
+            assert np.array_equal(a.items, b.items)
+            assert np.allclose(a.initial_scores, b.initial_scores)
+            assert np.array_equal(a.clicks, b.clicks)
+            assert a.fully_observed == b.fully_observed
+
+    def test_roundtrip_without_clicks(self, tmp_path):
+        requests = self._requests(with_clicks=False)
+        loaded = load_requests(save_requests(requests, tmp_path / "reqs"))
+        assert all(r.clicks is None for r in loaded)
+
+    def test_empty_list_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_requests([], tmp_path / "empty")
+
+    def test_unequal_lengths_raise(self, tmp_path):
+        requests = [
+            RankingRequest(0, np.arange(3), np.zeros(3)),
+            RankingRequest(1, np.arange(4), np.zeros(4)),
+        ]
+        with pytest.raises(ValueError):
+            save_requests(requests, tmp_path / "bad")
+
+
+class TestHistoriesIO:
+    def test_roundtrip_variable_lengths(self, tmp_path):
+        histories = [np.array([3, 1, 4]), np.array([], dtype=np.int64), np.array([9])]
+        loaded = load_histories(save_histories(histories, tmp_path / "hist"))
+        assert len(loaded) == 3
+        for a, b in zip(histories, loaded):
+            assert np.array_equal(a, b)

@@ -1,0 +1,108 @@
+"""Schema datatype validation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Catalog, Population, RankingRequest, RerankDataset
+
+
+def _population(n=3, q=2, m=4):
+    theta = np.full((n, m), 1.0 / m)
+    return Population(
+        features=np.zeros((n, q)),
+        topic_preference=theta,
+        diversity_weight=theta.copy(),
+        latent=np.zeros((n, 5)),
+    )
+
+
+class TestCatalog:
+    def test_basic_properties(self):
+        catalog = Catalog(features=np.zeros((4, 3)), coverage=np.eye(4))
+        assert catalog.num_items == 4
+        assert catalog.num_topics == 4
+        assert catalog.feature_dim == 3
+
+    def test_coverage_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Catalog(features=np.zeros((2, 2)), coverage=np.full((2, 2), 1.5))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Catalog(features=np.zeros((3, 2)), coverage=np.zeros((2, 2)))
+
+    def test_bids_length_checked(self):
+        with pytest.raises(ValueError):
+            Catalog(
+                features=np.zeros((3, 2)),
+                coverage=np.zeros((3, 2)),
+                bids=np.ones(2),
+            )
+
+    def test_dominant_topics(self):
+        coverage = np.array([[0.9, 0.1], [0.2, 0.8]])
+        catalog = Catalog(features=np.zeros((2, 1)), coverage=coverage)
+        assert np.array_equal(catalog.dominant_topics(), [0, 1])
+
+    def test_tiny_negative_coverage_clipped(self):
+        coverage = np.array([[-1e-12, 1.0]])
+        catalog = Catalog(features=np.zeros((1, 1)), coverage=coverage)
+        assert catalog.coverage.min() >= 0.0
+
+
+class TestPopulation:
+    def test_num_users(self):
+        assert _population(5).num_users == 5
+
+    def test_misaligned_arrays_raise(self):
+        with pytest.raises(ValueError):
+            Population(
+                features=np.zeros((3, 2)),
+                topic_preference=np.zeros((2, 4)),
+                diversity_weight=np.zeros((3, 4)),
+                latent=np.zeros((3, 5)),
+            )
+
+
+class TestRankingRequest:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            RankingRequest(0, np.array([1, 2, 3]), np.array([0.1, 0.2]))
+
+    def test_clicks_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            RankingRequest(
+                0, np.array([1, 2]), np.array([0.1, 0.2]), clicks=np.array([1.0])
+            )
+
+    def test_list_length(self):
+        request = RankingRequest(0, np.array([5, 6]), np.array([0.5, 0.1]))
+        assert request.list_length == 2
+
+    def test_rejects_2d_items(self):
+        with pytest.raises(ValueError):
+            RankingRequest(0, np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestRerankDataset:
+    def test_history_count_enforced(self):
+        catalog = Catalog(features=np.zeros((2, 2)), coverage=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            RerankDataset(
+                catalog=catalog,
+                population=_population(3),
+                histories=[np.array([0])],  # only one history for 3 users
+                ranker_train=np.zeros((0, 3)),
+            )
+
+    def test_history_lookup(self):
+        catalog = Catalog(features=np.zeros((2, 2)), coverage=np.zeros((2, 3)))
+        dataset = RerankDataset(
+            catalog=catalog,
+            population=_population(2),
+            histories=[np.array([0]), np.array([1, 0])],
+            ranker_train=np.zeros((0, 3)),
+        )
+        assert np.array_equal(dataset.history_of(1), [1, 0])

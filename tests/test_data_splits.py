@@ -1,0 +1,52 @@
+"""Tests for dataset splitters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import ratio_split, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        train, test = train_test_split(list(range(100)), test_fraction=0.2, seed=0)
+        assert len(train) == 80
+        assert len(test) == 20
+        assert sorted(train + test) == list(range(100))
+
+    def test_reproducible(self):
+        a = train_test_split(list(range(50)), seed=7)
+        b = train_test_split(list(range(50)), seed=7)
+        assert a == b
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2, 3], test_fraction=0.0)
+
+    def test_degenerate_split_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split([1], test_fraction=0.5)
+
+
+class TestRatioSplit:
+    def test_paper_ratio(self):
+        pieces = ratio_split(list(range(100)), [2, 3, 4, 1])
+        assert [len(p) for p in pieces] == [20, 30, 40, 10]
+        assert sum(pieces, []) == list(range(100))
+
+    def test_every_partition_nonempty(self):
+        pieces = ratio_split(list(range(5)), [1, 1, 1, 1, 1])
+        assert all(len(p) >= 1 for p in pieces)
+
+    def test_order_preserved(self):
+        pieces = ratio_split(list(range(10)), [1, 1])
+        assert pieces[0] == list(range(5))
+        assert pieces[1] == list(range(5, 10))
+
+    def test_too_few_items_raise(self):
+        with pytest.raises(ValueError):
+            ratio_split([1, 2], [1, 1, 1])
+
+    def test_nonpositive_ratio_raises(self):
+        with pytest.raises(ValueError):
+            ratio_split([1, 2, 3], [1, 0])

@@ -1,0 +1,134 @@
+"""Tests for the synthetic world generator and dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticWorld,
+    WorldConfig,
+    make_appstore_world,
+    make_movielens_world,
+    make_taobao_world,
+)
+
+
+class TestWorldConfig:
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            WorldConfig(num_users=0)
+        with pytest.raises(ValueError):
+            WorldConfig(num_items=5, num_topics=5)
+
+
+class TestSyntheticWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return SyntheticWorld(WorldConfig(num_users=30, num_items=80, seed=1))
+
+    def test_relevance_matrix_is_probability(self, world):
+        rel = world.relevance_matrix()
+        assert rel.shape == (30, 80)
+        assert (rel >= 0).all() and (rel <= 1).all()
+
+    def test_relevance_matrix_cached(self, world):
+        assert world.relevance_matrix() is world.relevance_matrix()
+
+    def test_relevance_lookup_matches_matrix(self, world):
+        rel = world.relevance_matrix()
+        users = np.array([0, 3, 5])
+        items = np.array([10, 20, 30])
+        assert np.allclose(world.relevance(users, items), rel[users, items])
+
+    def test_topic_preference_is_distribution(self, world):
+        theta = world.population.topic_preference
+        assert np.allclose(theta.sum(axis=1), 1.0)
+        assert (theta >= 0).all()
+
+    def test_diversity_weight_tracks_breadth(self, world):
+        """Broad users (high theta entropy) should carry larger rho mass."""
+        rho_total = world.population.diversity_weight.sum(axis=1)
+        breadth = world.user_breadth
+        broad = rho_total[breadth > np.median(breadth)].mean()
+        narrow = rho_total[breadth <= np.median(breadth)].mean()
+        assert broad > narrow
+
+    def test_histories_prefer_relevant_items(self, world):
+        histories = world.sample_histories(length=15)
+        rel = world.relevance_matrix()
+        in_history = np.mean(
+            [rel[u, histories[u]].mean() for u in range(world.config.num_users)]
+        )
+        assert in_history > rel.mean() + 0.05
+
+    def test_histories_have_requested_length(self, world):
+        histories = world.sample_histories(length=12)
+        assert all(len(h) == 12 for h in histories)
+        assert all(len(np.unique(h)) == len(h) for h in histories)
+
+    def test_ranker_training_labels_follow_relevance(self, world):
+        data = world.sample_ranker_training(4000)
+        assert data.shape == (4000, 3)
+        rel = world.relevance(data[:, 0], data[:, 1])
+        clicked_rel = rel[data[:, 2] == 1].mean()
+        unclicked_rel = rel[data[:, 2] == 0].mean()
+        assert clicked_rel > unclicked_rel
+
+    def test_candidate_sets_shapes_and_uniqueness(self, world):
+        users, candidates = world.sample_candidate_sets(20, 10)
+        assert users.shape == (20,)
+        assert candidates.shape == (20, 10)
+        for row in candidates:
+            assert len(np.unique(row)) == 10
+
+    def test_candidate_sets_contain_relevant_items(self, world):
+        users, candidates = world.sample_candidate_sets(30, 10)
+        rel = world.relevance_matrix()
+        cand_rel = np.mean([rel[u, c].mean() for u, c in zip(users, candidates)])
+        assert cand_rel > rel.mean()
+
+    def test_list_length_exceeding_catalog_raises(self, world):
+        with pytest.raises(ValueError):
+            world.sample_candidate_sets(1, 500)
+
+    def test_coverage_shape_mismatch_raises(self):
+        config = WorldConfig(num_users=10, num_items=30, seed=0)
+        with pytest.raises(ValueError):
+            SyntheticWorld(config, coverage=np.zeros((5, 5)))
+
+    def test_seed_reproducibility(self):
+        config = WorldConfig(num_users=10, num_items=30, seed=42)
+        a = SyntheticWorld(config).relevance_matrix()
+        b = SyntheticWorld(config).relevance_matrix()
+        assert np.array_equal(a, b)
+
+
+class TestDatasetBuilders:
+    def test_taobao_soft_gmm_coverage(self, taobao_world):
+        coverage = taobao_world.catalog.coverage
+        assert coverage.shape[1] == 5
+        assert np.allclose(coverage.sum(axis=1), 1.0, atol=1e-6)
+        # GMM responsibilities are soft: not one-hot.
+        assert coverage.max(axis=1).mean() < 0.999
+
+    def test_movielens_multihot(self, movielens_world):
+        coverage = movielens_world.catalog.coverage
+        counts = (coverage > 0).sum(axis=1)
+        assert counts.min() >= 1 and counts.max() <= 3
+        assert np.allclose(coverage.sum(axis=1), 1.0)
+
+    def test_appstore_onehot_with_bids(self, appstore_world):
+        coverage = appstore_world.catalog.coverage
+        assert set(np.unique(coverage)) <= {0.0, 1.0}
+        assert np.allclose(coverage.sum(axis=1), 1.0)
+        assert appstore_world.catalog.bids is not None
+        assert (appstore_world.catalog.bids > 0).all()
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            make_taobao_world("huge")
+        with pytest.raises(ValueError):
+            make_movielens_world("huge")
+        with pytest.raises(ValueError):
+            make_appstore_world("huge")

@@ -1,0 +1,105 @@
+"""Tests for topic-coverage construction: GMM EM and the coverage builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.topics import (
+    GaussianMixture,
+    gmm_coverage,
+    multihot_coverage,
+    onehot_coverage,
+)
+
+
+def _two_blobs(rng, n=100):
+    a = rng.normal([-3, -3], 0.4, size=(n, 2))
+    b = rng.normal([3, 3], 0.4, size=(n, 2))
+    return np.vstack([a, b])
+
+
+class TestGaussianMixture:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        x = _two_blobs(rng)
+        gmm = GaussianMixture(2, seed=0).fit(x)
+        labels = gmm.predict(x)
+        # All points of one blob share a label, blobs differ.
+        assert len(set(labels[:100])) == 1
+        assert len(set(labels[100:])) == 1
+        assert labels[0] != labels[150]
+
+    def test_means_near_blob_centers(self):
+        rng = np.random.default_rng(1)
+        gmm = GaussianMixture(2, seed=0).fit(_two_blobs(rng))
+        centers = sorted(gmm.means_[:, 0])
+        assert centers[0] == pytest.approx(-3.0, abs=0.3)
+        assert centers[1] == pytest.approx(3.0, abs=0.3)
+
+    def test_predict_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 3))
+        gmm = GaussianMixture(4, seed=0).fit(x)
+        proba = gmm.predict_proba(x)
+        assert proba.shape == (50, 4)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        gmm = GaussianMixture(3, seed=0).fit(rng.normal(size=(60, 2)))
+        assert np.isclose(gmm.weights_.sum(), 1.0)
+
+    def test_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture(2).predict_proba(np.zeros((3, 2)))
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(5).fit(np.zeros((3, 2)))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(2).fit(np.zeros(10))
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(0)
+
+
+class TestCoverageBuilders:
+    def test_gmm_coverage_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        coverage = gmm_coverage(_two_blobs(rng, 40), 2, seed=0)
+        assert coverage.shape == (80, 2)
+        assert np.allclose(coverage.sum(axis=1), 1.0)
+
+    def test_gmm_coverage_sharpening_concentrates(self):
+        rng = np.random.default_rng(0)
+        latent = rng.normal(size=(60, 3))
+        soft = gmm_coverage(latent, 3, sharpen=1.0, seed=0)
+        sharp = gmm_coverage(latent, 3, sharpen=4.0, seed=0)
+        assert sharp.max(axis=1).mean() >= soft.max(axis=1).mean()
+
+    def test_multihot_rows_normalized(self):
+        coverage = multihot_coverage(50, 8, seed=0)
+        assert coverage.shape == (50, 8)
+        assert np.allclose(coverage.sum(axis=1), 1.0)
+        counts = (coverage > 0).sum(axis=1)
+        assert counts.min() >= 1 and counts.max() <= 3
+
+    def test_multihot_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            multihot_coverage(10, 4, min_topics=3, max_topics=2)
+        with pytest.raises(ValueError):
+            multihot_coverage(10, 4, min_topics=1, max_topics=5)
+
+    @given(st.integers(1, 30), st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_onehot_exactly_one_topic(self, items, topics):
+        coverage = onehot_coverage(items, topics, seed=0)
+        assert coverage.shape == (items, topics)
+        assert np.allclose(coverage.sum(axis=1), 1.0)
+        assert set(np.unique(coverage)) <= {0.0, 1.0}

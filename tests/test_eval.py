@@ -1,0 +1,140 @@
+"""Experiment harness tests: protocol validation, pipeline, tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainConfig
+from repro.eval import (
+    DEFAULT_MODELS,
+    ExperimentConfig,
+    evaluate_reranker,
+    format_series,
+    format_table,
+    make_reranker,
+    prepare_bundle,
+    run_experiment,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.dataset == "taobao"
+
+    def test_invalid_dataset(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(dataset="netflix")
+
+    def test_invalid_ranker(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(initial_ranker="bm25")
+
+    def test_invalid_eval_mode(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(eval_mode="online")
+
+    def test_invalid_tradeoff(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(tradeoff=2.0)
+
+
+class TestPrepareBundle:
+    def test_bundle_contents(self, tiny_bundle, tiny_config):
+        bundle = tiny_bundle
+        assert len(bundle.train_requests) == tiny_config.num_train_requests
+        assert len(bundle.test_requests) == tiny_config.num_test_requests
+        assert all(r.fully_observed for r in bundle.train_requests)
+        assert not any(r.fully_observed for r in bundle.test_requests)
+
+    def test_initial_lists_sorted_by_score(self, tiny_bundle):
+        for request in tiny_bundle.train_requests[:10]:
+            assert (np.diff(request.initial_scores) <= 1e-9).all()
+
+    def test_clicks_are_binary(self, tiny_bundle):
+        for request in tiny_bundle.train_requests[:10]:
+            assert set(np.unique(request.clicks)) <= {0.0, 1.0}
+
+
+class TestMakeReranker:
+    def test_init_returns_none(self, tiny_bundle):
+        assert make_reranker("init", tiny_bundle) is None
+
+    @pytest.mark.parametrize("name", [m for m in DEFAULT_MODELS if m != "init"])
+    def test_all_models_constructible(self, tiny_bundle, name):
+        reranker = make_reranker(name, tiny_bundle)
+        assert reranker is not None
+        assert reranker.name == name or reranker.name.startswith("rapid")
+
+    def test_unknown_model_raises(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            make_reranker("bert4rec", tiny_bundle)
+
+
+class TestEvaluateReranker:
+    def test_init_metrics_complete(self, tiny_bundle):
+        result = evaluate_reranker(None, tiny_bundle)
+        for k in (5, 10):
+            for metric in ("click", "ndcg", "div", "satis"):
+                assert f"{metric}@{k}" in result.metrics
+        assert result["click@5"] > 0
+
+    def test_per_request_samples_align(self, tiny_bundle):
+        result = evaluate_reranker(None, tiny_bundle)
+        assert len(result.per_request_clicks[5]) == len(tiny_bundle.test_requests)
+        assert np.mean(result.per_request_clicks[5]) == pytest.approx(
+            result["click@5"]
+        )
+
+    def test_mmr_increases_div(self, tiny_bundle):
+        init = evaluate_reranker(None, tiny_bundle)
+        mmr = evaluate_reranker(make_reranker("mmr", tiny_bundle), tiny_bundle)
+        assert mmr["div@5"] > init["div@5"]
+
+    def test_logged_mode_uses_recorded_clicks(self, tiny_bundle):
+        import dataclasses
+
+        logged_config = dataclasses.replace(tiny_bundle.config, eval_mode="logged")
+        original = tiny_bundle.config
+        tiny_bundle.config = logged_config
+        try:
+            result = evaluate_reranker(None, tiny_bundle)
+            expected = np.mean(
+                [r.clicks[:5].sum() for r in tiny_bundle.test_requests]
+            )
+            assert result["click@5"] == pytest.approx(expected)
+        finally:
+            tiny_bundle.config = original
+
+
+class TestRunExperiment:
+    def test_subset_run(self, tiny_config, tiny_bundle):
+        results = run_experiment(tiny_config, ["init", "mmr"], bundle=tiny_bundle)
+        assert set(results) == {"init", "mmr"}
+        assert results["mmr"]["div@10"] >= results["init"]["div@10"]
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            {"init": {"click@5": 1.0}, "rapid": {"click@5": 1.5, "div@5": 2.0}},
+            title="Demo",
+        )
+        assert "Demo" in text
+        assert "click@5" in text
+        assert "div@5" in text
+        assert "-" in text  # missing value placeholder
+
+    def test_format_table_column_selection(self):
+        text = format_table(
+            {"a": {"x": 1.0, "y": 2.0}}, columns=["y"]
+        )
+        assert "y" in text and "x" not in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"click@10": [1.0, 2.0]}, x_label="hidden", x_values=[8, 16]
+        )
+        assert "hidden" in text
+        assert "1.0000" in text

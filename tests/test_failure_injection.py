@@ -1,0 +1,142 @@
+"""Failure-injection tests: degenerate inputs the pipeline must survive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RapidConfig, RapidModel, marginal_diversity
+from repro.data import (
+    Catalog,
+    Population,
+    RankingRequest,
+    build_batch,
+    split_history_by_topic,
+)
+from repro.rerank import DPPReranker, MMRReranker, SSDReranker
+from repro.rerank.neural import normalized_initial_scores
+
+
+def _flat_world(num_topics=3, num_items=20, num_users=4, q=4):
+    """A minimal hand-built world with controllable degeneracies."""
+    rng = np.random.default_rng(0)
+    coverage = np.zeros((num_items, num_topics))
+    coverage[np.arange(num_items), rng.integers(0, num_topics, num_items)] = 1.0
+    catalog = Catalog(features=rng.normal(size=(num_items, q)), coverage=coverage)
+    theta = np.full((num_users, num_topics), 1.0 / num_topics)
+    population = Population(
+        features=rng.normal(size=(num_users, q)),
+        topic_preference=theta,
+        diversity_weight=theta.copy(),
+        latent=rng.normal(size=(num_users, q)),
+    )
+    return catalog, population
+
+
+class TestEmptyAndDegenerateHistories:
+    def test_batch_with_empty_history(self):
+        catalog, population = _flat_world()
+        histories = [np.array([], dtype=np.int64) for _ in range(4)]
+        request = RankingRequest(0, np.arange(5), np.zeros(5))
+        batch = build_batch([request], catalog, population, histories)
+        assert not batch.history_mask.any()
+        assert not batch.topic_history_mask.any()
+
+    def test_rapid_scores_with_empty_history(self):
+        catalog, population = _flat_world()
+        histories = [np.array([], dtype=np.int64) for _ in range(4)]
+        request = RankingRequest(0, np.arange(5), np.zeros(5))
+        batch = build_batch([request], catalog, population, histories)
+        model = RapidModel(
+            RapidConfig(user_dim=4, item_dim=4, num_topics=3, hidden=8)
+        )
+        scores = model.inference_scores(batch)
+        assert np.isfinite(scores).all()
+
+    def test_single_topic_user_history(self):
+        catalog, population = _flat_world()
+        topic0_items = np.flatnonzero(catalog.coverage[:, 0] == 1.0)
+        histories = [topic0_items for _ in range(4)]
+        ids, mask = split_history_by_topic(
+            histories[0], catalog.coverage, 3, max_length=5
+        )
+        assert mask[0].any()
+        assert not mask[1].any() and not mask[2].any()
+
+        request = RankingRequest(0, np.arange(5), np.zeros(5))
+        batch = build_batch([request], catalog, population, histories)
+        model = RapidModel(
+            RapidConfig(user_dim=4, item_dim=4, num_topics=3, hidden=8)
+        )
+        theta = model.preference_distribution(batch)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+
+
+class TestDegenerateCoverage:
+    def test_all_items_same_topic(self):
+        """Every candidate covers only topic 0 — diversity is identically
+        saturated, and everything must stay finite."""
+        coverage = np.zeros((6, 3))
+        coverage[:, 0] = 1.0
+        d = marginal_diversity(coverage)
+        assert np.isfinite(d).all()
+        assert np.allclose(d, 0.0)
+
+    def test_zero_coverage_items(self):
+        coverage = np.zeros((4, 3))
+        d = marginal_diversity(coverage)
+        assert np.allclose(d, 0.0)
+
+    def test_mmr_with_identical_coverage(self):
+        catalog, population = _flat_world()
+        catalog.coverage[:] = 0.0
+        catalog.coverage[:, 0] = 1.0
+        histories = [np.arange(3) for _ in range(4)]
+        request = RankingRequest(0, np.arange(6), np.arange(6.0))
+        batch = build_batch([request], catalog, population, histories)
+        perm = MMRReranker(tradeoff=0.5).rerank(batch)
+        assert sorted(perm[0].tolist()) == list(range(6))
+
+    def test_dpp_with_identical_items(self):
+        catalog, population = _flat_world()
+        catalog.features[:] = 1.0
+        catalog.coverage[:] = 0.0
+        catalog.coverage[:, 0] = 1.0
+        histories = [np.arange(3) for _ in range(4)]
+        request = RankingRequest(0, np.arange(6), np.zeros(6))
+        batch = build_batch([request], catalog, population, histories)
+        perm = DPPReranker().rerank(batch)
+        assert sorted(perm[0].tolist()) == list(range(6))
+
+    def test_ssd_with_zero_descriptors(self):
+        catalog, population = _flat_world()
+        catalog.features[:] = 0.0
+        catalog.coverage[:] = 0.0
+        histories = [np.arange(3) for _ in range(4)]
+        request = RankingRequest(0, np.arange(5), np.zeros(5))
+        batch = build_batch([request], catalog, population, histories)
+        perm = SSDReranker().rerank(batch)
+        assert sorted(perm[0].tolist()) == list(range(5))
+
+
+class TestDegenerateScores:
+    def test_constant_initial_scores(self):
+        catalog, population = _flat_world()
+        histories = [np.arange(3) for _ in range(4)]
+        request = RankingRequest(0, np.arange(5), np.full(5, 7.0))
+        batch = build_batch([request], catalog, population, histories)
+        z = normalized_initial_scores(batch)
+        assert np.isfinite(z).all()
+        assert np.allclose(z, 0.0)
+
+    def test_single_item_list(self):
+        catalog, population = _flat_world()
+        histories = [np.arange(3) for _ in range(4)]
+        request = RankingRequest(0, np.array([2]), np.array([1.0]))
+        batch = build_batch([request], catalog, population, histories)
+        model = RapidModel(
+            RapidConfig(user_dim=4, item_dim=4, num_topics=3, hidden=8)
+        )
+        scores = model.inference_scores(batch)
+        assert scores.shape == (1, 1)
+        assert np.isfinite(scores).all()

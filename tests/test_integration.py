@@ -1,0 +1,167 @@
+"""End-to-end integration tests on the tiny Taobao pipeline.
+
+These check the *shape* of the paper's findings at miniature scale: trained
+re-rankers improve the initial ranking, RAPID learns per-user preference
+distributions, and the full model zoo runs through the harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainConfig
+from repro.data import build_batch
+from repro.eval import (
+    ExperimentConfig,
+    evaluate_reranker,
+    make_reranker,
+    prepare_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_bundle():
+    """A slightly larger bundle so learning effects are visible."""
+    config = ExperimentConfig(
+        dataset="taobao",
+        scale="tiny",
+        tradeoff=0.5,
+        list_length=12,
+        num_train_requests=400,
+        num_test_requests=80,
+        ranker_interactions=1500,
+        hidden=8,
+        train=TrainConfig(epochs=6, batch_size=32),
+        seed=0,
+    )
+    return prepare_bundle(config)
+
+
+class TestRapidEndToEnd:
+    @pytest.fixture(scope="class")
+    def rapid(self, trained_bundle):
+        reranker = make_reranker("rapid-pro", trained_bundle)
+        reranker.fit(
+            trained_bundle.train_requests,
+            trained_bundle.world.catalog,
+            trained_bundle.world.population,
+            trained_bundle.histories,
+        )
+        return reranker
+
+    def test_rapid_beats_initial_ranking(self, trained_bundle, rapid):
+        init = evaluate_reranker(None, trained_bundle)
+        ours = evaluate_reranker(rapid, trained_bundle)
+        assert ours["click@5"] > init["click@5"]
+        assert ours["ndcg@5"] > init["ndcg@5"]
+
+    def test_training_loss_decreased(self, rapid):
+        assert rapid.training_losses[-1] < rapid.training_losses[0]
+
+    def test_preference_distribution_tracks_ground_truth(
+        self, trained_bundle, rapid
+    ):
+        """theta_hat should positively correlate with theta* (RQ5)."""
+        batch = build_batch(
+            trained_bundle.test_requests,
+            trained_bundle.world.catalog,
+            trained_bundle.world.population,
+            trained_bundle.histories,
+        )
+        theta_hat = rapid.model.preference_distribution(batch)
+        theta_star = trained_bundle.world.population.topic_preference[
+            batch.user_ids
+        ]
+        correlations = [
+            np.corrcoef(theta_hat[i], theta_star[i])[0, 1]
+            for i in range(len(theta_hat))
+            if theta_star[i].std() > 0
+        ]
+        assert np.nanmean(correlations) > 0.1
+
+    def test_diverse_users_receive_more_diverse_lists(self, trained_bundle, rapid):
+        """Personalization check: re-ranked top-5 diversity should be higher
+        for users with broad tastes than for focused users."""
+        from repro.metrics import topic_coverage
+
+        world = trained_bundle.world
+        batch = build_batch(
+            trained_bundle.test_requests,
+            world.catalog,
+            world.population,
+            trained_bundle.histories,
+        )
+        perm = rapid.rerank(batch)
+        breadth = world.user_breadth[batch.user_ids]
+        divs = []
+        for row, request in enumerate(trained_bundle.test_requests):
+            items = request.items[perm[row][:5]]
+            divs.append(topic_coverage(world.catalog.coverage[items]).sum())
+        divs = np.asarray(divs)
+        median = np.median(breadth)
+        broad = divs[breadth > median].mean()
+        focused = divs[breadth <= median].mean()
+        assert broad > focused
+
+
+class TestAppStorePipeline:
+    def test_logged_evaluation_runs(self):
+        config = ExperimentConfig(
+            dataset="appstore",
+            scale="tiny",
+            list_length=10,
+            num_train_requests=120,
+            num_test_requests=40,
+            ranker_interactions=800,
+            hidden=8,
+            eval_mode="logged",
+            train=TrainConfig(epochs=2, batch_size=32),
+        )
+        bundle = prepare_bundle(config)
+        result = evaluate_reranker(None, bundle)
+        assert "rev@5" in result.metrics
+        assert result["rev@5"] >= 0
+
+    def test_movielens_pipeline_runs(self):
+        config = ExperimentConfig(
+            dataset="movielens",
+            scale="tiny",
+            list_length=10,
+            num_train_requests=100,
+            num_test_requests=30,
+            ranker_interactions=600,
+            hidden=8,
+            train=TrainConfig(epochs=1, batch_size=32),
+        )
+        bundle = prepare_bundle(config)
+        rapid = make_reranker("rapid-det", bundle)
+        rapid.fit(
+            bundle.train_requests,
+            bundle.world.catalog,
+            bundle.world.population,
+            bundle.histories,
+        )
+        result = evaluate_reranker(rapid, bundle)
+        assert result["click@5"] > 0
+
+
+class TestAlternativeInitialRankers:
+    @pytest.mark.parametrize("ranker", ["svmrank", "lambdamart"])
+    def test_pipeline_with_ranker(self, ranker):
+        config = ExperimentConfig(
+            dataset="taobao",
+            scale="tiny",
+            initial_ranker=ranker,
+            list_length=10,
+            num_train_requests=80,
+            num_test_requests=30,
+            ranker_interactions=500,
+            hidden=8,
+            train=TrainConfig(epochs=1, batch_size=32),
+        )
+        bundle = prepare_bundle(config)
+        result = evaluate_reranker(None, bundle)
+        assert result["click@5"] > 0

@@ -1,0 +1,95 @@
+"""Remaining edge paths: error branches and less-traveled code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.click import fit_dcm
+from repro.core.trainer import TrainConfig
+from repro.eval import ExperimentConfig, run_experiment
+from repro.nn import Parameter, Tensor
+from repro.rerank import PRMReranker
+
+
+class TestNeuralRerankerErrorPaths:
+    def test_unknown_loss_rejected_at_fit(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        model = PRMReranker(hidden=8, epochs=1)
+        model.loss = "focal"
+        from repro.data import RankingRequest
+
+        request = RankingRequest(0, np.arange(4), np.zeros(4), clicks=np.zeros(4))
+        with pytest.raises(ValueError):
+            model.fit([request], world.catalog, world.population, histories)
+
+
+class TestModuleRebinding:
+    def test_reassigning_parameter_updates_registry(self):
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(2))
+
+        net = Net()
+        net.w = Parameter(np.ones(3))
+        params = list(net.parameters())
+        assert len(params) == 1
+        assert params[0].shape == (3,)
+
+    def test_reassigning_child_module_updates_registry(self):
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = nn.Linear(2, 2)
+
+        net = Net()
+        net.layer = nn.Linear(4, 4)
+        names = dict(net.named_parameters())
+        assert names["layer.weight"].shape == (4, 4)
+
+
+class TestFitDCMEdgeCases:
+    def test_no_logs(self):
+        fitted = fit_dcm([], [], num_items=5)
+        assert fitted.attraction.shape == (5,)
+        assert np.allclose(fitted.attraction, 0.5)  # pure prior
+        assert fitted.termination.shape == (0,)
+
+    def test_all_positions_clicked(self):
+        lists = [np.array([0, 1, 2])]
+        clicks = [np.array([1.0, 1.0, 1.0])]
+        fitted = fit_dcm(lists, clicks, num_items=3)
+        assert (fitted.attraction[:3] > 0.5).all()
+        # position 2 held the last click of its only session
+        assert fitted.termination[2] > fitted.termination[0]
+
+
+class TestRunExperimentDefaults:
+    def test_builds_bundle_when_none_given(self):
+        config = ExperimentConfig(
+            dataset="taobao",
+            scale="tiny",
+            list_length=8,
+            num_train_requests=30,
+            num_test_requests=15,
+            ranker_interactions=200,
+            hidden=8,
+            train=TrainConfig(epochs=1, batch_size=16),
+        )
+        results = run_experiment(config, ["init"])
+        assert "init" in results
+
+
+class TestTensorMaxEdge:
+    def test_max_with_ties_splits_gradient(self):
+        x = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_global_max(self):
+        x = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])

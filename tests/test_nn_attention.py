@@ -1,0 +1,120 @@
+"""Attention layer tests: masking, equivariance, shapes, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestSelfAttention:
+    def test_matches_closed_form(self):
+        attn = nn.SelfAttention()
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=(1, 4, 6))
+        out = attn(Tensor(v)).numpy()
+        scores = v[0] @ v[0].T / np.sqrt(6)
+        weights = np.exp(scores - scores.max(axis=1, keepdims=True))
+        weights /= weights.sum(axis=1, keepdims=True)
+        assert np.allclose(out[0], weights @ v[0])
+
+    def test_no_parameters(self):
+        assert nn.SelfAttention().num_parameters() == 0
+
+    def test_mask_excludes_keys(self):
+        attn = nn.SelfAttention()
+        v = np.random.default_rng(0).normal(size=(1, 3, 4))
+        mask = np.array([[True, True, False]])
+        out_masked = attn(Tensor(v), mask=mask).numpy()
+        out_short = attn(Tensor(v[:, :2])).numpy()
+        assert np.allclose(out_masked[0, :2], out_short[0])
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        assert attn(Tensor(np.ones((3, 5, 8)))).shape == (3, 5, 8)
+
+    def test_indivisible_heads_raise(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(7, 2)
+
+    def test_key_mask_consistency(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 4, 8))
+        mask = np.array([[True, True, True, False]])
+        out_masked = attn(Tensor(x), mask=mask).numpy()
+        out_short = attn(Tensor(x[:, :3])).numpy()
+        assert np.allclose(out_masked[0, :3], out_short[0], atol=1e-10)
+
+    def test_permutation_equivariance(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 5, 8))
+        perm = np.array([3, 0, 4, 1, 2])
+        out = attn(Tensor(x)).numpy()
+        out_perm = attn(Tensor(x[:, perm])).numpy()
+        assert np.allclose(out[:, perm], out_perm, atol=1e-10)
+
+    def test_cross_attention_keys(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        q = Tensor(np.ones((1, 2, 8)))
+        kv = Tensor(np.random.default_rng(2).normal(size=(1, 6, 8)))
+        assert attn(q, keys=kv).shape == (1, 2, 8)
+
+
+class TestTransformerEncoderLayer:
+    def test_shape_preserved(self):
+        layer = nn.TransformerEncoderLayer(8, 2, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.ones((2, 5, 8)))).shape == (2, 5, 8)
+
+    def test_gradients_reach_all_parameters(self):
+        layer = nn.TransformerEncoderLayer(8, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(2, 4, 8))))
+        out.sum().backward()
+        missing = [
+            name for name, p in layer.named_parameters() if p.grad is None
+        ]
+        assert not missing, f"no grad for {missing}"
+
+
+class TestInducedSetAttention:
+    def test_shape_and_params(self):
+        block = nn.InducedSetAttention(8, 2, num_inducing=3, rng=np.random.default_rng(0))
+        out = block(Tensor(np.ones((2, 7, 8))))
+        assert out.shape == (2, 7, 8)
+        assert block.inducing.shape == (3, 8)
+
+    def test_permutation_equivariance(self):
+        block = nn.InducedSetAttention(8, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 6, 8))
+        perm = np.array([5, 2, 0, 4, 1, 3])
+        out = block(Tensor(x)).numpy()
+        out_perm = block(Tensor(x[:, perm])).numpy()
+        assert np.allclose(out[:, perm], out_perm, atol=1e-8)
+
+
+class TestGatedLocalAttention:
+    def test_shape(self):
+        block = nn.GatedLocalAttention(8, 2, window=2, rng=np.random.default_rng(0))
+        assert block(Tensor(np.ones((2, 6, 8)))).shape == (2, 6, 8)
+
+    def test_causality_of_causal_branch(self):
+        """Changing a later item must not change the causal branch earlier.
+
+        The fused output mixes the local branch (which sees +-window), so we
+        check positions beyond the local window from the perturbation.
+        """
+        block = nn.GatedLocalAttention(8, 2, window=1, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 6, 8))
+        x2 = x.copy()
+        x2[0, 5] += 3.0  # perturb the last item
+        out = block(Tensor(x)).numpy()
+        out2 = block(Tensor(x2)).numpy()
+        # positions 0..3 are outside both the causal past and the window
+        assert np.allclose(out[0, :4], out2[0, :4], atol=1e-10)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            nn.GatedLocalAttention(8, 2, window=0)

@@ -1,0 +1,86 @@
+"""Parameter-gradient checks for the attention stacks (finite differences).
+
+These complement the forward-behavior tests: every learnable parameter of
+the attention modules must receive a gradient that matches central finite
+differences, guaranteeing the baselines built on them train correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def _check_param_grads(module, forward, atol=1e-5, max_entries=6):
+    """Compare autograd grads of sum(forward()) with finite differences on a
+    subsample of each parameter's entries."""
+    module.zero_grad()
+    forward().sum().backward()
+    rng = np.random.default_rng(0)
+    for name, param in module.named_parameters():
+        assert param.grad is not None, f"no grad for {name}"
+        flat = param.data.ravel()
+        flat_grad = param.grad.ravel()
+        indices = rng.choice(
+            param.data.size, size=min(max_entries, param.data.size), replace=False
+        )
+        for index in indices:
+            original = flat[index]
+            eps = 1e-6
+            flat[index] = original + eps
+            plus = forward().sum().item()
+            flat[index] = original - eps
+            minus = forward().sum().item()
+            flat[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert flat_grad[index] == pytest.approx(numeric, abs=atol), (
+                f"{name}[{index}]"
+            )
+
+
+@pytest.fixture()
+def inputs():
+    rng = np.random.default_rng(1)
+    return Tensor(rng.normal(size=(2, 4, 8)))
+
+
+class TestAttentionParameterGradients:
+    def test_multi_head_self_attention(self, inputs):
+        module = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        _check_param_grads(module, lambda: module(inputs))
+
+    def test_transformer_encoder_layer(self, inputs):
+        module = nn.TransformerEncoderLayer(8, 2, rng=np.random.default_rng(0))
+        _check_param_grads(module, lambda: module(inputs))
+
+    def test_induced_set_attention(self, inputs):
+        module = nn.InducedSetAttention(8, 2, rng=np.random.default_rng(0))
+        _check_param_grads(module, lambda: module(inputs))
+
+    def test_gated_local_attention(self, inputs):
+        module = nn.GatedLocalAttention(8, 2, rng=np.random.default_rng(0))
+        _check_param_grads(module, lambda: module(inputs))
+
+
+class TestRecurrentParameterGradients:
+    def test_bilstm(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        module = nn.BiLSTM(4, 3, rng=np.random.default_rng(0))
+        _check_param_grads(module, lambda: module(x))
+
+    def test_gru_sequence(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        module = nn.GRU(4, 3, rng=np.random.default_rng(0))
+        _check_param_grads(module, lambda: module(x)[0])
+
+    def test_masked_lstm(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(2, 4, 3)))
+        mask = np.array([[True, True, False, False], [True, True, True, True]])
+        module = nn.LSTM(3, 2, rng=np.random.default_rng(0))
+        _check_param_grads(module, lambda: module(x, mask=mask)[0])

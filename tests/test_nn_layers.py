@@ -1,0 +1,163 @@
+"""Tests for basic layers: Linear, Embedding, LayerNorm, Dropout, MLP, containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestLinear:
+    def test_shapes_and_affine(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        out = layer(Tensor(x)).numpy()
+        assert out.shape == (5, 3)
+        assert np.allclose(out, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_batched_3d_input(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 7, 4))))
+        assert out.shape == (2, 7, 2)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_wrong_input_dim_raises(self):
+        with pytest.raises(ValueError):
+            nn.Linear(4, 3)(Tensor(np.ones((2, 5))))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.numpy()[0, 0], emb.weight.data[1])
+
+    def test_padding_idx_zero_vector_and_grad(self):
+        emb = nn.Embedding(10, 4, padding_idx=0, rng=np.random.default_rng(0))
+        out = emb(np.array([0, 1]))
+        assert np.allclose(out.numpy()[0], 0.0)
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[0], 0.0)
+        assert not np.allclose(emb.weight.grad[1], 0.0)
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_invalid_padding_idx(self):
+        with pytest.raises(ValueError):
+            nn.Embedding(5, 2, padding_idx=9)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = nn.LayerNorm(6)
+        x = np.random.default_rng(0).normal(2.0, 3.0, size=(4, 6))
+        out = ln(Tensor(x)).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_learnable_shift(self):
+        ln = nn.LayerNorm(3)
+        ln.beta.data = np.array([1.0, 2.0, 3.0])
+        out = ln(Tensor(np.zeros((1, 3)))).numpy()
+        assert np.allclose(out, [[1.0, 2.0, 3.0]])
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(4)(Tensor(np.ones((2, 5))))
+
+
+class TestDropoutLayer:
+    def test_eval_is_identity(self):
+        drop = nn.Dropout(0.9)
+        drop.eval()
+        x = np.ones((5, 5))
+        assert np.array_equal(drop(Tensor(x)).numpy(), x)
+
+    def test_train_zeroes_roughly_p(self):
+        drop = nn.Dropout(0.5, seed=0)
+        out = drop(Tensor(np.ones((100, 100)))).numpy()
+        assert abs((out == 0).mean() - 0.5) < 0.05
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestMLP:
+    def test_output_shape_and_activation(self):
+        mlp = nn.MLP([4, 8, 2], output_activation="sigmoid")
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(3, 4)))).numpy()
+        assert out.shape == (3, 2)
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_too_few_dims_raises(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4])
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4, 2], activation="gelu")
+
+    def test_parameters_registered(self):
+        mlp = nn.MLP([4, 8, 2])
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+
+class TestContainers:
+    def test_sequential(self):
+        seq = nn.Sequential(
+            nn.Linear(4, 8, rng=np.random.default_rng(0)),
+            nn.Linear(8, 2, rng=np.random.default_rng(1)),
+        )
+        assert seq(Tensor(np.ones((3, 4)))).shape == (3, 2)
+        assert len(seq) == 2
+        assert len(list(seq.parameters())) == 4
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        assert layers[1] is list(layers)[1]
+        assert len(list(layers.parameters())) == 6
+
+
+class TestInitializers:
+    def test_orthogonal_is_orthogonal(self):
+        from repro.nn.init import orthogonal
+
+        q = orthogonal((6, 6), np.random.default_rng(0))
+        assert np.allclose(q @ q.T, np.eye(6), atol=1e-8)
+
+    def test_orthogonal_rectangular(self):
+        from repro.nn.init import orthogonal
+
+        q = orthogonal((3, 6), np.random.default_rng(0))
+        assert np.allclose(q @ q.T, np.eye(3), atol=1e-8)
+
+    def test_xavier_bounds(self):
+        from repro.nn.init import xavier_uniform
+
+        w = xavier_uniform((50, 30), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 80)
+        assert (np.abs(w) <= bound).all()
+
+    def test_fans_validation(self):
+        from repro.nn.init import orthogonal
+
+        with pytest.raises(ValueError):
+            orthogonal((3,), np.random.default_rng(0))

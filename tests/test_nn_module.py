@@ -1,0 +1,90 @@
+"""Module / Parameter / serialization tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Module, Parameter, Tensor, load_module, save_module
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(3, 1, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.array([2.0]))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestModule:
+    def test_named_parameters_are_prefixed(self):
+        names = dict(TinyNet().named_parameters())
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "fc2.weight" in names
+        assert "scale" in names
+
+    def test_parameters_unique(self):
+        net = TinyNet()
+        params = list(net.parameters())
+        assert len(params) == len({id(p) for p in params}) == 5
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 3 + 3 + 3 * 1 + 1 + 1
+
+    def test_train_eval_propagates(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.training
+        assert not net.fc1.training
+        net.train()
+        assert net.fc2.training
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        net_a, net_b = TinyNet(), TinyNet()
+        net_b.fc1.weight.data += 1.0
+        net_b.load_state_dict(net_a.state_dict())
+        x = Tensor(np.ones((2, 4)))
+        assert np.allclose(net_a(x).numpy(), net_b(x).numpy())
+
+    def test_load_state_dict_rejects_mismatched_keys(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestSerialization:
+    def test_save_and_load(self, tmp_path):
+        net_a, net_b = TinyNet(), TinyNet()
+        net_a.fc1.weight.data += 0.5
+        path = save_module(net_a, tmp_path / "model")
+        assert path.suffix == ".npz"
+        load_module(net_b, path)
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(net_a(x).numpy(), net_b(x).numpy())
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_module(TinyNet(), tmp_path / "missing.npz")

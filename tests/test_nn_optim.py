@@ -1,0 +1,102 @@
+"""Optimizer tests: convergence on convex problems, clipping, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter, Tensor
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    target = Tensor(np.array([1.0, -2.0, 3.0]))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        assert np.allclose(param.data, [1.0, -2.0, 3.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.zeros(3))
+            optimizer = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                optimizer.zero_grad()
+                quadratic_loss(param).backward()
+                optimizer.step()
+            return quadratic_loss(param).item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()  # zero data gradient
+        optimizer.step()
+        assert param.data[0] < 10.0
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.ones(2))
+        SGD([param], lr=0.1).step()  # no backward was run
+        assert np.allclose(param.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        assert np.allclose(param.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.999))
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first step ~lr * sign(grad).
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=0.05)
+        optimizer.zero_grad()
+        (param * 3.0).sum().backward()
+        optimizer.step()
+        assert param.data[0] == pytest.approx(-0.05, rel=1e-6)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        total = clip_grad_norm([param], max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 0.01)
+        clip_grad_norm([param], max_norm=1.0)
+        assert np.allclose(param.grad, 0.01)
+
+    def test_ignores_none_grads(self):
+        assert clip_grad_norm([Parameter(np.zeros(3))], 1.0) == 0.0

@@ -1,0 +1,146 @@
+"""Recurrent layer tests: cell math, masking semantics, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def _numeric_param_grad(module, param, loss_fn, eps=1e-6):
+    grad = np.zeros_like(param.data)
+    flat_grad = grad.ravel()
+    flat = param.data.ravel()
+    for i in range(param.data.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = loss_fn()
+        flat[i] = orig - eps
+        minus = loss_fn()
+        flat[i] = orig
+        flat_grad[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = nn.LSTMCell(4, 3, rng=np.random.default_rng(0))
+        h, c = cell(Tensor(np.ones((2, 4))))
+        assert h.shape == (2, 3)
+        assert c.shape == (2, 3)
+
+    def test_state_threading(self):
+        cell = nn.LSTMCell(4, 3, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1, 4)))
+        h1, c1 = cell(x)
+        h2, c2 = cell(x, (h1, c1))
+        assert not np.allclose(h1.numpy(), h2.numpy())
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = nn.LSTMCell(4, 3)
+        assert np.allclose(cell.bias.data[3:6], 1.0)
+
+    def test_gradient_through_cell(self):
+        rng = np.random.default_rng(0)
+        cell = nn.LSTMCell(3, 2, rng=rng)
+        x_data = rng.normal(size=(2, 3))
+
+        def loss_fn():
+            h, _ = cell(Tensor(x_data))
+            return h.sum().item()
+
+        cell.zero_grad()
+        h, _ = cell(Tensor(x_data))
+        h.sum().backward()
+        numeric = _numeric_param_grad(cell, cell.w_ih, loss_fn)
+        assert np.allclose(cell.w_ih.grad, numeric, atol=1e-6)
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = nn.GRUCell(4, 3, rng=np.random.default_rng(0))
+        assert cell(Tensor(np.ones((2, 4)))).shape == (2, 3)
+
+    def test_gradient_through_cell(self):
+        rng = np.random.default_rng(1)
+        cell = nn.GRUCell(3, 2, rng=rng)
+        x_data = rng.normal(size=(2, 3))
+
+        def loss_fn():
+            return cell(Tensor(x_data)).sum().item()
+
+        cell.zero_grad()
+        cell(Tensor(x_data)).sum().backward()
+        numeric = _numeric_param_grad(cell, cell.w_hh, loss_fn)
+        assert np.allclose(cell.w_hh.grad, numeric, atol=1e-6)
+
+
+class TestSequenceLayers:
+    def test_lstm_output_shapes(self):
+        lstm = nn.LSTM(4, 3, rng=np.random.default_rng(0))
+        outputs, final = lstm(Tensor(np.ones((2, 5, 4))))
+        assert outputs.shape == (2, 5, 3)
+        assert final.shape == (2, 3)
+        assert np.allclose(outputs.numpy()[:, -1], final.numpy())
+
+    def test_mask_freezes_state_after_last_valid(self):
+        lstm = nn.LSTM(4, 3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 5, 4))
+        mask = np.array([[True, True, True, False, False]])
+        outputs, final = lstm(Tensor(x), mask=mask)
+        # Final state equals the state after the 3rd (last valid) input.
+        assert np.allclose(final.numpy(), outputs.numpy()[0, 2])
+        assert np.allclose(outputs.numpy()[0, 3], outputs.numpy()[0, 2])
+
+    def test_mask_matches_truncated_sequence(self):
+        lstm = nn.LSTM(4, 3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(1, 5, 4))
+        mask = np.array([[True, True, False, False, False]])
+        _, final_masked = lstm(Tensor(x), mask=mask)
+        _, final_short = lstm(Tensor(x[:, :2]))
+        assert np.allclose(final_masked.numpy(), final_short.numpy())
+
+    def test_empty_mask_keeps_zero_state(self):
+        lstm = nn.LSTM(4, 3, rng=np.random.default_rng(0))
+        x = np.ones((1, 3, 4))
+        mask = np.zeros((1, 3), dtype=bool)
+        _, final = lstm(Tensor(x), mask=mask)
+        assert np.allclose(final.numpy(), 0.0)
+
+    def test_gru_runs_with_mask(self):
+        gru = nn.GRU(4, 3, rng=np.random.default_rng(0))
+        mask = np.array([[True, True, False]])
+        outputs, final = gru(Tensor(np.ones((1, 3, 4))), mask=mask)
+        assert outputs.shape == (1, 3, 3)
+        assert np.allclose(final.numpy(), outputs.numpy()[0, 1])
+
+
+class TestBiLSTM:
+    def test_output_is_concatenation(self):
+        bi = nn.BiLSTM(4, 3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 4)))
+        out = bi(x)
+        assert out.shape == (2, 5, 6)
+        fwd, _ = bi.forward_lstm(x)
+        assert np.allclose(out.numpy()[:, :, :3], fwd.numpy())
+
+    def test_backward_direction_sees_future(self):
+        bi = nn.BiLSTM(2, 2, rng=np.random.default_rng(0))
+        x = np.zeros((1, 4, 2))
+        x[0, 3] = 5.0  # only the last step carries signal
+        out = bi(Tensor(x)).numpy()
+        # The backward half at position 0 must react to the change at t=3.
+        x2 = x.copy()
+        x2[0, 3] = -5.0
+        out2 = bi(Tensor(x2)).numpy()
+        assert not np.allclose(out[0, 0, 2:], out2[0, 0, 2:])
+        # The forward half at position 0 must not.
+        assert np.allclose(out[0, 0, :2], out2[0, 0, :2])
+
+    def test_gradients_flow_to_both_directions(self):
+        bi = nn.BiLSTM(3, 2, rng=np.random.default_rng(0))
+        out = bi(Tensor(np.ones((1, 4, 3))))
+        out.sum().backward()
+        assert bi.forward_lstm.cell.w_ih.grad is not None
+        assert bi.backward_lstm.cell.w_ih.grad is not None

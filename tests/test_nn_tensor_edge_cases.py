@@ -1,0 +1,88 @@
+"""Additional autograd edge cases: boolean masks, deep graphs, dtype."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+class TestIndexingEdgeCases:
+    def test_boolean_mask_forward_backward(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        mask = np.array([[True, False, True], [False, True, False]])
+        out = x[mask]
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.array_equal(x.grad, mask.astype(float))
+
+    def test_integer_array_pair_indexing(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        rows = np.array([0, 2])
+        cols = np.array([1, 3])
+        out = x[rows, cols]
+        assert np.allclose(out.numpy(), [1.0, 11.0])
+        out.sum().backward()
+        expected = np.zeros((3, 4))
+        expected[0, 1] = 1.0
+        expected[2, 3] = 1.0
+        assert np.array_equal(x.grad, expected)
+
+    def test_scalar_index(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        x[1].reshape(1).sum().backward()
+        assert np.array_equal(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphDepth:
+    def test_deep_chain_backward_is_iterative(self):
+        """A 3000-op chain must not hit Python's recursion limit (the
+        topological sort is iterative)."""
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y * 1.0001
+        y.sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 5.0
+        (a + b).sum().backward()
+        assert np.allclose(x.grad, 7.0)
+
+
+class TestDtypeAndCoercion:
+    def test_integer_input_promoted_to_float64(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert t.data.dtype == np.float64
+
+    def test_python_list_accepted(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+
+    def test_tensor_from_tensor_shares_data(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        assert b.data is a.data
+
+
+class TestPowAndDivEdge:
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+    def test_rtruediv(self):
+        x = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        y = 8.0 / x
+        assert np.allclose(y.numpy(), [4.0, 2.0])
+        y.sum().backward()
+        assert np.allclose(x.grad, [-2.0, -0.5])
+
+    def test_rsub(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (10.0 - x).sum().backward()
+        assert np.allclose(x.grad, -1.0)

@@ -1,0 +1,73 @@
+"""Unit tests for PD-GAN internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rerank.pd_gan import _marginal_logdet_gains
+
+
+class TestMarginalLogdetGains:
+    def test_empty_selection_gives_zero_gains(self):
+        similarity = np.eye(4)
+        gains = _marginal_logdet_gains(similarity, [], np.arange(4))
+        assert np.allclose(gains, 0.0)
+
+    def test_duplicate_item_has_low_gain(self):
+        """An item identical to the selected one must gain (near) -inf
+        log-det relative to a dissimilar item."""
+        similarity = np.array(
+            [
+                [1.0, 0.999, 0.0],
+                [0.999, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        gains = _marginal_logdet_gains(similarity, [0], np.array([1, 2]))
+        assert gains[0] < gains[1]
+        assert gains[1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_orthogonal_item_full_gain(self):
+        similarity = np.eye(3)
+        gains = _marginal_logdet_gains(similarity, [0], np.array([1, 2]))
+        assert np.allclose(gains, 0.0, atol=1e-4)  # log(1) = 0
+
+    def test_numerically_safe_with_singular_selection(self):
+        """Two identical selected items make the submatrix singular; the
+        regularizer must keep the computation finite."""
+        similarity = np.ones((3, 3))
+        gains = _marginal_logdet_gains(similarity, [0, 1], np.array([2]))
+        assert np.isfinite(gains).all()
+
+
+class TestPDGANSetDescriptor:
+    def test_descriptor_dimensions(self, taobao_world):
+        from repro.data import RankingRequest, build_batch
+        from repro.rerank import PDGANReranker
+
+        world = taobao_world
+        histories = world.sample_histories()
+        request = RankingRequest(
+            0, np.arange(6), np.zeros(6), clicks=np.zeros(6)
+        )
+        batch = build_batch([request], world.catalog, world.population, histories)
+        reranker = PDGANReranker(hidden=8)
+        descriptor = reranker._set_descriptor(batch, 0, np.array([0, 2]))
+        expected_dim = (
+            world.population.feature_dim + world.catalog.feature_dim + 5
+        )
+        assert descriptor.shape == (expected_dim,)
+
+    def test_empty_set_descriptor_is_zero_items(self, taobao_world):
+        from repro.data import RankingRequest, build_batch
+        from repro.rerank import PDGANReranker
+
+        world = taobao_world
+        histories = world.sample_histories()
+        request = RankingRequest(0, np.arange(6), np.zeros(6), clicks=np.zeros(6))
+        batch = build_batch([request], world.catalog, world.population, histories)
+        reranker = PDGANReranker(hidden=8)
+        descriptor = reranker._set_descriptor(batch, 0, np.array([], dtype=int))
+        q_u = world.population.feature_dim
+        assert np.allclose(descriptor[q_u:], 0.0)

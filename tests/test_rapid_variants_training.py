@@ -1,0 +1,68 @@
+"""Training smoke tests for every RAPID variant (losses must decrease)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RAPID_VARIANTS, RapidConfig, RapidReranker, TrainConfig
+from repro.data import RankingRequest
+
+
+@pytest.fixture(scope="module")
+def training_data(taobao_world):
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    rel = world.relevance_matrix()
+    requests = []
+    for _ in range(60):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=8, replace=False)
+        clicks = (rng.random(8) < rel[user, items]).astype(float)
+        requests.append(
+            RankingRequest(
+                user, items, rng.normal(size=8), clicks=clicks, fully_observed=True
+            )
+        )
+    return world, histories, requests
+
+
+@pytest.mark.parametrize("variant", sorted(RAPID_VARIANTS))
+class TestVariantTraining:
+    def test_loss_decreases(self, training_data, variant):
+        world, histories, requests = training_data
+        config = RapidConfig(
+            user_dim=world.population.feature_dim,
+            item_dim=world.catalog.feature_dim,
+            num_topics=world.catalog.num_topics,
+            hidden=8,
+            seed=0,
+        )
+        reranker = RapidReranker(
+            config, variant, TrainConfig(epochs=3, batch_size=16, lr=0.02)
+        )
+        reranker.fit(requests, world.catalog, world.population, histories)
+        assert reranker.training_losses[-1] < reranker.training_losses[0]
+
+    def test_scores_finite_after_training(self, training_data, variant):
+        from repro.data import build_batch
+
+        world, histories, requests = training_data
+        config = RapidConfig(
+            user_dim=world.population.feature_dim,
+            item_dim=world.catalog.feature_dim,
+            num_topics=world.catalog.num_topics,
+            hidden=8,
+            seed=0,
+        )
+        reranker = RapidReranker(
+            config, variant, TrainConfig(epochs=1, batch_size=16)
+        )
+        reranker.fit(requests, world.catalog, world.population, histories)
+        batch = build_batch(
+            requests[:6], world.catalog, world.population, histories
+        )
+        scores = reranker.score_batch(batch)
+        assert np.isfinite(scores).all()
+        assert ((scores >= 0) & (scores <= 1)).all()

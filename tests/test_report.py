@@ -1,0 +1,45 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import collect_results, main, write_report
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table2_taobao_lambda0.5.txt").write_text("taobao table\n")
+    (directory / "theorem51_regret.txt").write_text("regret table\n")
+    (directory / "misc_notes.txt").write_text("misc\n")
+    return directory
+
+
+class TestCollectResults:
+    def test_grouping(self, results_dir):
+        grouped = collect_results(results_dir)
+        assert any("Table II" in title for title in grouped)
+        assert any("Theorem" in title for title in grouped)
+        assert "Other" in grouped
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+
+class TestWriteReport:
+    def test_report_contains_tables(self, results_dir, tmp_path):
+        output = tmp_path / "REPORT.md"
+        text = write_report(results_dir, output)
+        assert output.exists()
+        assert "taobao table" in text
+        assert "regret table" in text
+        assert text.count("```") % 2 == 0  # balanced fences
+
+    def test_main_cli(self, results_dir, capsys):
+        code = main([str(results_dir)])
+        assert code == 0
+        assert (results_dir / "REPORT.md").exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Tests for result annotation (significance markers, impv% rows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import EvaluationResult
+from repro.eval.reporting import (
+    annotate_results,
+    improvement_row,
+    significance_markers,
+    strongest_baseline,
+)
+
+
+def _result(click5: float, samples: np.ndarray) -> EvaluationResult:
+    return EvaluationResult(
+        metrics={"click@5": click5, "div@5": 2.0},
+        per_request_clicks={5: samples},
+    )
+
+
+@pytest.fixture()
+def results():
+    rng = np.random.default_rng(0)
+    base = rng.normal(1.0, 0.3, size=200)
+    return {
+        "init": _result(1.0, base),
+        "prm": _result(1.1, base + 0.1),
+        "rapid-pro": _result(1.5, base + 0.5 + rng.normal(0, 0.01, 200)),
+    }
+
+
+class TestSignificanceMarkers:
+    def test_clear_winner_is_marked(self, results):
+        markers = significance_markers(results, "rapid-pro")
+        assert markers[5] is True
+
+    def test_tied_candidate_not_marked(self, results):
+        results["tied"] = _result(1.0, results["init"].per_request_clicks[5].copy())
+        markers = significance_markers(results, "tied", baselines=["init"])
+        assert markers[5] is False
+
+    def test_unknown_candidate_raises(self, results):
+        with pytest.raises(KeyError):
+            significance_markers(results, "bert")
+
+
+class TestImprovementRow:
+    def test_percentages(self, results):
+        row = improvement_row(results, "rapid-pro", "prm")
+        assert row["click@5"] == pytest.approx(100 * (1.5 / 1.1 - 1))
+
+    def test_unknown_names_raise(self, results):
+        with pytest.raises(KeyError):
+            improvement_row(results, "rapid-pro", "bert")
+
+
+class TestAnnotateResults:
+    def test_adds_significance_row(self, results):
+        table = annotate_results(results, candidate="rapid-pro")
+        assert table["rapid-pro sig"]["click@5"] == 1.0
+        assert "init" in table
+
+
+class TestStrongestBaseline:
+    def test_excludes_rapid_and_init(self, results):
+        assert strongest_baseline(results, "click@5") == "prm"
+
+    def test_no_baselines_raise(self, results):
+        with pytest.raises(ValueError):
+            strongest_baseline(
+                results, "click@5", exclude=("init", "prm", "rapid-pro")
+            )

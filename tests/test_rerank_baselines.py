@@ -1,0 +1,227 @@
+"""Heuristic baseline tests: MMR, adpMMR, DPP, SSD, PD-GAN mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import RankingRequest, build_batch
+from repro.rerank import (
+    AdaptiveMMRReranker,
+    DPPReranker,
+    MMRReranker,
+    PDGANReranker,
+    SSDReranker,
+    build_dpp_kernel,
+    coverage_cosine,
+    diversity_propensity,
+    fast_greedy_map,
+    greedy_mmr,
+    orthogonal_residual_norm,
+)
+
+
+@pytest.fixture(scope="module")
+def batch_setup(taobao_world):
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    requests = []
+    for _ in range(5):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=8, replace=False)
+        clicks = (rng.random(8) < 0.3).astype(float)
+        requests.append(
+            RankingRequest(user, items, rng.normal(size=8), clicks=clicks)
+        )
+    batch = build_batch(requests, world.catalog, world.population, histories)
+    return world, histories, requests, batch
+
+
+def _assert_valid_permutations(perm, length):
+    for row in perm:
+        assert sorted(row.tolist()) == list(range(length))
+
+
+class TestGreedyMMR:
+    def test_pure_relevance_sorts_by_score(self):
+        relevance = np.array([0.1, 0.9, 0.5])
+        sim = np.eye(3)
+        order = greedy_mmr(relevance, sim, tradeoff=1.0)
+        assert order.tolist() == [1, 2, 0]
+
+    def test_diversity_pushes_similar_items_down(self):
+        relevance = np.array([1.0, 0.95, 0.1])
+        sim = np.array(
+            [[1.0, 0.99, 0.0], [0.99, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+        order = greedy_mmr(relevance, sim, tradeoff=0.5)
+        # item 1 is near-duplicate of item 0 -> the dissimilar item 2 wins slot 2
+        assert order.tolist() == [0, 2, 1]
+
+    def test_invalid_positions_go_last(self):
+        relevance = np.array([0.1, 0.9, 0.5])
+        valid = np.array([True, False, True])
+        order = greedy_mmr(relevance, np.eye(3), 1.0, valid=valid)
+        assert order[-1] == 1
+
+    def test_invalid_tradeoff_raises(self):
+        with pytest.raises(ValueError):
+            greedy_mmr(np.ones(2), np.eye(2), 1.5)
+
+    def test_coverage_cosine_range(self):
+        coverage = np.random.default_rng(0).random((6, 4))
+        sim = coverage_cosine(coverage)
+        assert sim.shape == (6, 6)
+        assert np.allclose(np.diag(sim), 1.0)
+        assert (sim >= -1e-12).all() and (sim <= 1 + 1e-12).all()
+
+    def test_coverage_cosine_zero_rows_safe(self):
+        sim = coverage_cosine(np.zeros((3, 4)))
+        assert np.isfinite(sim).all()
+
+
+class TestMMRReranker:
+    def test_valid_permutations(self, batch_setup):
+        _, _, _, batch = batch_setup
+        perm = MMRReranker(tradeoff=0.6).rerank(batch)
+        _assert_valid_permutations(perm, batch.list_length)
+
+    def test_tradeoff_one_reproduces_score_order(self, batch_setup):
+        _, _, _, batch = batch_setup
+        perm = MMRReranker(tradeoff=1.0).rerank(batch)
+        expected = np.argsort(-batch.initial_scores, axis=1)
+        assert np.array_equal(perm, expected)
+
+
+class TestAdaptiveMMR:
+    def test_propensity_bounds(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        for user in range(5):
+            p = diversity_propensity(
+                histories[user], world.catalog.coverage, 5
+            )
+            assert 0.0 <= p <= 1.0
+
+    def test_empty_history_zero_propensity(self, taobao_world):
+        assert (
+            diversity_propensity(np.array([]), taobao_world.catalog.coverage, 5)
+            == 0.0
+        )
+
+    def test_focused_history_lower_propensity(self):
+        coverage = np.eye(4)
+        focused = np.zeros(20, dtype=np.int64)  # one topic repeatedly
+        diverse = np.arange(20, dtype=np.int64) % 4
+        assert diversity_propensity(focused, coverage, 4) < diversity_propensity(
+            diverse, coverage, 4
+        )
+
+    def test_reranker_produces_valid_permutations(self, batch_setup):
+        world, histories, _, batch = batch_setup
+        reranker = AdaptiveMMRReranker(world.catalog, histories)
+        perm = reranker.rerank(batch)
+        _assert_valid_permutations(perm, batch.list_length)
+
+    def test_invalid_tradeoff_window(self, taobao_world):
+        with pytest.raises(ValueError):
+            AdaptiveMMRReranker(
+                taobao_world.catalog, [], min_tradeoff=0.9, max_tradeoff=0.5
+            )
+
+
+class TestDPP:
+    def test_kernel_is_psd(self):
+        rng = np.random.default_rng(0)
+        kernel = build_dpp_kernel(rng.random(6), rng.random((6, 4)))
+        eigenvalues = np.linalg.eigvalsh(kernel)
+        assert (eigenvalues >= -1e-9).all()
+
+    def test_greedy_map_prefers_diverse(self):
+        # two near-identical high-quality items + one distinct lower-quality
+        descriptors = np.array([[1.0, 0.0], [0.999, 0.001], [0.0, 1.0]])
+        kernel = build_dpp_kernel(
+            np.array([1.0, 0.99, 0.2]), descriptors, quality_weight=1.0
+        )
+        order = fast_greedy_map(kernel, max_items=2)
+        assert 2 in order.tolist()
+
+    def test_greedy_map_logdet_matches_bruteforce(self):
+        """First two greedy picks must maximize the 2x2 subdeterminant greedily."""
+        rng = np.random.default_rng(3)
+        kernel = build_dpp_kernel(rng.random(5), rng.random((5, 3)))
+        order = fast_greedy_map(kernel, max_items=2)
+        first = int(np.argmax(np.diag(kernel)))
+        assert order[0] == first
+        gains = []
+        for j in range(5):
+            if j == first:
+                gains.append(-np.inf)
+                continue
+            sub = kernel[np.ix_([first, j], [first, j])]
+            gains.append(np.linalg.det(sub) / kernel[first, first])
+        assert order[1] == int(np.argmax(gains))
+
+    def test_reranker_valid_permutations(self, batch_setup):
+        _, _, _, batch = batch_setup
+        perm = DPPReranker().rerank(batch)
+        _assert_valid_permutations(perm, batch.list_length)
+
+    def test_reranker_increases_diversity_over_score_order(self, batch_setup):
+        """DPP's top-k should cover at least as many topics as sorting by
+        the initial scores alone (averaged over the batch)."""
+        world, _, requests, batch = batch_setup
+        from repro.metrics import div_at_k
+
+        perm = DPPReranker(quality_weight=0.1).rerank(batch)
+        score_order = np.argsort(-batch.initial_scores, axis=1)
+        cov = world.catalog.coverage
+        by_score = [
+            cov[r.items[score_order[i][: len(r.items)]]]
+            for i, r in enumerate(requests)
+        ]
+        by_dpp = [
+            cov[r.items[perm[i][: len(r.items)]]] for i, r in enumerate(requests)
+        ]
+        assert div_at_k(by_dpp, 3) >= div_at_k(by_score, 3)
+
+
+class TestSSD:
+    def test_orthogonal_residual(self):
+        basis = [np.array([1.0, 0.0])]
+        assert orthogonal_residual_norm(np.array([3.0, 4.0]), basis) == pytest.approx(
+            4.0
+        )
+        assert orthogonal_residual_norm(np.array([5.0, 0.0]), basis) == pytest.approx(
+            0.0
+        )
+
+    def test_valid_permutations(self, batch_setup):
+        _, _, _, batch = batch_setup
+        perm = SSDReranker().rerank(batch)
+        _assert_valid_permutations(perm, batch.list_length)
+
+    def test_gamma_zero_is_pure_relevance(self, batch_setup):
+        _, _, _, batch = batch_setup
+        perm = SSDReranker(gamma=0.0).rerank(batch)
+        expected = np.argsort(-batch.initial_scores, axis=1)
+        assert np.array_equal(perm, expected)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SSDReranker(window=0)
+
+
+class TestPDGAN:
+    def test_fit_and_rerank(self, batch_setup):
+        world, histories, requests, batch = batch_setup
+        reranker = PDGANReranker(hidden=8, epochs=1, seed=0)
+        reranker.fit(requests * 4, world.catalog, world.population, histories)
+        perm = reranker.rerank(batch)
+        _assert_valid_permutations(perm, batch.list_length)
+
+    def test_rerank_before_fit_raises(self, batch_setup):
+        _, _, _, batch = batch_setup
+        with pytest.raises(RuntimeError):
+            PDGANReranker().rerank(batch)

@@ -1,0 +1,109 @@
+"""Architecture-level behavior tests for the neural baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import RankingRequest, build_batch
+from repro.rerank import (
+    DESAReranker,
+    PRMReranker,
+    SetRankReranker,
+)
+
+
+@pytest.fixture(scope="module")
+def batches(taobao_world):
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    items = rng.choice(world.config.num_items, size=8, replace=False)
+    scores = rng.normal(size=8)
+    base = RankingRequest(0, items, scores, clicks=np.zeros(8))
+    perm = rng.permutation(8)
+    permuted = RankingRequest(0, items[perm], scores[perm], clicks=np.zeros(8))
+    batch_a = build_batch([base], world.catalog, world.population, histories)
+    batch_b = build_batch([permuted], world.catalog, world.population, histories)
+    return world, histories, base, batch_a, batch_b, perm
+
+
+def _fitted(cls, world, histories, request):
+    model = cls(hidden=8, epochs=1, batch_size=2, seed=0)
+    model.fit([request] * 4, world.catalog, world.population, histories)
+    return model
+
+
+class TestPositionSensitivity:
+    def test_prm_scores_depend_on_position(self, batches):
+        """PRM uses learned position embeddings: permuting the input list
+        must change per-item scores (not just permute them)."""
+        world, histories, request, batch_a, batch_b, perm = batches
+        model = _fitted(PRMReranker, world, histories, request)
+        scores_a = model.score_batch(batch_a)[0]
+        scores_b = model.score_batch(batch_b)[0]
+        # If PRM were permutation-equivariant: scores_b == scores_a[perm].
+        assert not np.allclose(scores_b, scores_a[perm], atol=1e-8)
+
+    def test_setrank_scores_are_permutation_equivariant(self, batches):
+        """SetRank has no position embeddings; scores must follow items."""
+        world, histories, request, batch_a, batch_b, perm = batches
+        model = _fitted(SetRankReranker, world, histories, request)
+        scores_a = model.score_batch(batch_a)[0]
+        scores_b = model.score_batch(batch_b)[0]
+        # The initial-score feature is z-normalized per list, so it is also
+        # permutation-equivariant; the whole model must be too.
+        assert np.allclose(scores_b, scores_a[perm], atol=1e-8)
+
+    def test_setrank_rerank_invariant_to_input_order(self, batches):
+        """Consequently SetRank's *chosen items* ignore the initial order."""
+        world, histories, request, batch_a, batch_b, perm = batches
+        model = _fitted(SetRankReranker, world, histories, request)
+        items_a = request.items[model.rerank(batch_a)[0]]
+        items_b = request.items[perm][model.rerank(batch_b)[0]]
+        assert np.array_equal(items_a, items_b)
+
+
+class TestDESABranches:
+    def test_diversity_branch_reacts_to_coverage_only(self, batches):
+        """Zeroing the coverage must change DESA's scores (the diversity
+        branch consumes it twice: in list features and its own branch)."""
+        world, histories, request, batch_a, _, _ = batches
+        model = _fitted(DESAReranker, world, histories, request)
+        scores = model.score_batch(batch_a)
+        import copy
+
+        batch_zero = copy.deepcopy(batch_a)
+        batch_zero.coverage[:] = 0.0
+        scores_zero = model.score_batch(batch_zero)
+        assert not np.allclose(scores, scores_zero)
+
+
+class TestBatchingPropagation:
+    def test_iterate_batches_propagates_history_lengths(self, taobao_world):
+        from repro.data import iterate_batches
+
+        world = taobao_world
+        histories = world.sample_histories()
+        rng = np.random.default_rng(0)
+        requests = [
+            RankingRequest(
+                0,
+                rng.choice(world.config.num_items, size=5, replace=False),
+                rng.normal(size=5),
+            )
+            for _ in range(4)
+        ]
+        batch = next(
+            iterate_batches(
+                requests,
+                world.catalog,
+                world.population,
+                histories,
+                batch_size=4,
+                topic_history_length=3,
+                flat_history_length=7,
+            )
+        )
+        assert batch.topic_history_features.shape[2] == 3
+        assert batch.history_features.shape[1] == 7

@@ -1,0 +1,118 @@
+"""Neural baseline tests: DLCM, PRM, SetRank, SRGA, DESA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import RankingRequest, build_batch
+from repro.rerank import (
+    DESAReranker,
+    DLCMReranker,
+    PRMReranker,
+    SRGAReranker,
+    SetRankReranker,
+    list_input_features,
+)
+from repro.rerank.neural import normalized_initial_scores
+
+
+@pytest.fixture(scope="module")
+def training_setup(taobao_world):
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    rel = world.relevance_matrix()
+    requests = []
+    for _ in range(60):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=8, replace=False)
+        clicks = (rng.random(8) < rel[user, items]).astype(float)
+        requests.append(
+            RankingRequest(
+                user, items, rng.normal(size=8), clicks=clicks, fully_observed=True
+            )
+        )
+    batch = build_batch(requests[:10], world.catalog, world.population, histories)
+    return world, histories, requests, batch
+
+
+ALL_MODELS = [
+    (DLCMReranker, "dlcm"),
+    (PRMReranker, "prm"),
+    (SetRankReranker, "setrank"),
+    (SRGAReranker, "srga"),
+    (DESAReranker, "desa"),
+]
+
+
+class TestInputFeatures:
+    def test_feature_layout(self, training_setup):
+        world, _, _, batch = training_setup
+        feats = list_input_features(batch)
+        q_u = world.population.feature_dim
+        q_v = world.catalog.feature_dim
+        assert feats.shape == (batch.batch_size, batch.list_length, q_u + q_v + 5 + 1)
+        assert np.allclose(feats[0, 0, :q_u], batch.user_features[0])
+
+    def test_normalized_scores_zero_mean_unit_std(self, training_setup):
+        _, _, _, batch = training_setup
+        z = normalized_initial_scores(batch)
+        assert np.allclose(z[batch.mask].reshape(batch.batch_size, -1).mean(axis=1), 0, atol=1e-9)
+        assert np.allclose(z.std(axis=1), 1.0, atol=1e-6)
+
+    def test_normalized_scores_constant_row_safe(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        request = RankingRequest(0, np.arange(4), np.ones(4))
+        batch = build_batch([request], world.catalog, world.population, histories)
+        z = normalized_initial_scores(batch)
+        assert np.isfinite(z).all()
+
+
+@pytest.mark.parametrize("cls,name", ALL_MODELS, ids=[n for _, n in ALL_MODELS])
+class TestNeuralBaselines:
+    def test_training_reduces_loss(self, training_setup, cls, name):
+        world, histories, requests, _ = training_setup
+        model = cls(hidden=8, epochs=3, batch_size=16, lr=0.02, seed=0)
+        model.fit(requests, world.catalog, world.population, histories)
+        assert model.name == name
+        assert len(model.training_losses) == 3
+        assert model.training_losses[-1] <= model.training_losses[0]
+
+    def test_rerank_valid_permutation(self, training_setup, cls, name):
+        world, histories, requests, batch = training_setup
+        model = cls(hidden=8, epochs=1, batch_size=16, seed=0)
+        model.fit(requests, world.catalog, world.population, histories)
+        perm = model.rerank(batch)
+        for row in perm:
+            assert sorted(row.tolist()) == list(range(batch.list_length))
+
+    def test_score_before_fit_raises(self, training_setup, cls, name):
+        _, _, _, batch = training_setup
+        with pytest.raises(RuntimeError):
+            cls(hidden=8).score_batch(batch)
+
+    def test_scoring_deterministic_at_inference(self, training_setup, cls, name):
+        world, histories, requests, batch = training_setup
+        model = cls(hidden=8, epochs=1, batch_size=16, seed=0)
+        model.fit(requests, world.catalog, world.population, histories)
+        assert np.array_equal(model.score_batch(batch), model.score_batch(batch))
+
+
+class TestMaskHandling:
+    def test_padded_positions_ranked_last(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        short = RankingRequest(
+            0, np.arange(3), np.array([1.0, 2.0, 3.0]), clicks=np.zeros(3)
+        )
+        longer = RankingRequest(
+            1, np.arange(6), np.arange(6.0), clicks=np.zeros(6)
+        )
+        batch = build_batch([short, longer], world.catalog, world.population, histories)
+        model = PRMReranker(hidden=8, epochs=1, batch_size=2, seed=0)
+        model.fit([short, longer], world.catalog, world.population, histories)
+        perm = model.rerank(batch)
+        # the padded tail of the short list must occupy the final slots
+        assert set(perm[0][-3:]) == {3, 4, 5}

@@ -1,0 +1,98 @@
+"""Property-based tests for the heuristic re-rankers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rerank.dpp import build_dpp_kernel, fast_greedy_map
+from repro.rerank.mmr import coverage_cosine, greedy_mmr
+
+
+@st.composite
+def relevance_and_coverage(draw):
+    length = draw(st.integers(2, 10))
+    topics = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=length), rng.random((length, topics))
+
+
+class TestGreedyMMRProperties:
+    @given(relevance_and_coverage())
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_permutation(self, data):
+        relevance, coverage = data
+        order = greedy_mmr(relevance, coverage_cosine(coverage), tradeoff=0.5)
+        assert sorted(order.tolist()) == list(range(len(relevance)))
+
+    @given(relevance_and_coverage())
+    @settings(max_examples=40, deadline=None)
+    def test_tradeoff_one_equals_argsort(self, data):
+        relevance, coverage = data
+        order = greedy_mmr(relevance, coverage_cosine(coverage), tradeoff=1.0)
+        # Stable w.r.t. ties is not guaranteed; compare achieved relevance.
+        assert np.allclose(
+            relevance[order], np.sort(relevance)[::-1]
+        )
+
+    @given(relevance_and_coverage())
+    @settings(max_examples=30, deadline=None)
+    def test_stepwise_local_optimality(self, data):
+        """Greedy guarantee: each selected item maximizes the MMR objective
+        among the items still available at that step."""
+        relevance, coverage = data
+        similarity = coverage_cosine(coverage)
+        tradeoff = 0.5
+        order = greedy_mmr(relevance, similarity, tradeoff)
+        span = relevance.max() - relevance.min()
+        rel = (
+            (relevance - relevance.min()) / span
+            if span > 0
+            else np.zeros_like(relevance)
+        )
+        remaining = list(range(len(relevance)))
+        for step, pick in enumerate(order):
+            if step == 0:
+                max_sim = np.zeros(len(remaining))
+            else:
+                max_sim = similarity[np.ix_(remaining, order[:step])].max(axis=1)
+            objective = tradeoff * rel[remaining] - (1 - tradeoff) * max_sim
+            best = objective.max()
+            pick_value = objective[remaining.index(pick)]
+            assert pick_value == pytest.approx(best, abs=1e-9)
+            remaining.remove(pick)
+
+
+class TestDPPProperties:
+    @given(relevance_and_coverage())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_map_unique_indices(self, data):
+        relevance, coverage = data
+        kernel = build_dpp_kernel(relevance, coverage)
+        order = fast_greedy_map(kernel)
+        assert len(set(order.tolist())) == len(order)
+
+    @given(relevance_and_coverage())
+    @settings(max_examples=40, deadline=None)
+    def test_first_pick_is_max_quality_diagonal(self, data):
+        relevance, coverage = data
+        kernel = build_dpp_kernel(relevance, coverage)
+        order = fast_greedy_map(kernel, max_items=1)
+        if len(order):
+            assert order[0] == int(np.argmax(np.diag(kernel)))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_symmetric_psd(self, seed):
+        rng = np.random.default_rng(seed)
+        kernel = build_dpp_kernel(rng.normal(size=6), rng.random((6, 3)))
+        assert np.allclose(kernel, kernel.T)
+        assert np.linalg.eigvalsh(kernel).min() >= -1e-8
+
+    def test_greedy_map_max_items_respected(self):
+        rng = np.random.default_rng(0)
+        kernel = build_dpp_kernel(rng.normal(size=8), rng.random((8, 3)))
+        assert len(fast_greedy_map(kernel, max_items=3)) <= 3

@@ -1,0 +1,88 @@
+"""Tests for the Seq2Slate pointer-network baseline (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import RankingRequest, build_batch
+from repro.rerank import Seq2SlateReranker
+
+
+@pytest.fixture(scope="module")
+def setup(taobao_world):
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    rel = world.relevance_matrix()
+    requests = []
+    for _ in range(50):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=8, replace=False)
+        clicks = (rng.random(8) < rel[user, items]).astype(float)
+        requests.append(
+            RankingRequest(
+                user, items, rng.normal(size=8), clicks=clicks, fully_observed=True
+            )
+        )
+    batch = build_batch(requests[:8], world.catalog, world.population, histories)
+    return world, histories, requests, batch
+
+
+class TestSeq2Slate:
+    def test_training_reduces_loss(self, setup):
+        world, histories, requests, _ = setup
+        model = Seq2SlateReranker(hidden=8, epochs=3, batch_size=16, lr=0.02, seed=0)
+        model.fit(requests, world.catalog, world.population, histories)
+        assert len(model.training_losses) == 3
+        assert model.training_losses[-1] < model.training_losses[0]
+
+    def test_rerank_valid_permutations(self, setup):
+        world, histories, requests, batch = setup
+        model = Seq2SlateReranker(hidden=8, epochs=1, batch_size=16, seed=0)
+        model.fit(requests, world.catalog, world.population, histories)
+        perm = model.rerank(batch)
+        for row in perm:
+            assert sorted(row.tolist()) == list(range(batch.list_length))
+
+    def test_pointer_prefers_clicked_items_after_training(self, setup):
+        """The one-step pointer should score clicked items above unclicked
+        ones on the training distribution."""
+        world, histories, requests, _ = setup
+        model = Seq2SlateReranker(hidden=8, epochs=5, batch_size=16, lr=0.02, seed=0)
+        model.fit(requests, world.catalog, world.population, histories)
+        batch = build_batch(requests, world.catalog, world.population, histories)
+        scores = model.score_batch(batch)
+        clicked = scores[batch.clicks > 0.5]
+        unclicked = scores[(batch.clicks <= 0.5) & batch.mask]
+        assert clicked.mean() > unclicked.mean()
+
+    def test_score_before_fit_raises(self, setup):
+        _, _, _, batch = setup
+        with pytest.raises(RuntimeError):
+            Seq2SlateReranker(hidden=8).score_batch(batch)
+
+    def test_factory_integration(self, tiny_bundle):
+        from repro.eval import make_reranker
+
+        model = make_reranker("seq2slate", tiny_bundle)
+        assert model.name == "seq2slate"
+
+    def test_handles_all_zero_click_lists(self, setup):
+        """Lists without any click contribute no pointer steps but must not
+        crash training."""
+        world, histories, _, _ = setup
+        rng = np.random.default_rng(1)
+        requests = [
+            RankingRequest(
+                0,
+                rng.choice(world.config.num_items, size=6, replace=False),
+                rng.normal(size=6),
+                clicks=np.zeros(6),
+                fully_observed=True,
+            )
+            for _ in range(8)
+        ]
+        model = Seq2SlateReranker(hidden=8, epochs=1, batch_size=4, seed=0)
+        model.fit(requests, world.catalog, world.population, histories)
+        assert np.isfinite(model.training_losses).all()

@@ -1,0 +1,43 @@
+"""Tests for the hyper-parameter grid search (Sec. IV-C protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import grid_search
+
+
+class TestGridSearch:
+    def test_searches_all_combinations(self, tiny_bundle):
+        result = grid_search(
+            "mmr",  # heuristic: fast, no training — exercises the machinery
+            tiny_bundle,
+            {"hidden": [8, 16]},
+            metric="click@5",
+        )
+        assert len(result.trace) == 2
+        assert result.best_params["hidden"] in (8, 16)
+        assert result.best_score == max(score for _, score in result.trace)
+
+    def test_trains_learned_model(self, tiny_bundle):
+        result = grid_search(
+            "rapid-det",
+            tiny_bundle,
+            {"epochs": [1], "hidden": [8]},
+            metric="click@5",
+        )
+        assert result.best_params == {"epochs": 1, "hidden": 8}
+        assert result.metric == "click@5"
+
+    def test_empty_grid_raises(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            grid_search("mmr", tiny_bundle, {})
+
+    def test_unknown_parameter_raises(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            grid_search("mmr", tiny_bundle, {"dropout": [0.5]})
+
+    def test_does_not_touch_test_requests(self, tiny_bundle):
+        before = list(tiny_bundle.test_requests)
+        grid_search("mmr", tiny_bundle, {"hidden": [8]})
+        assert tiny_bundle.test_requests == before

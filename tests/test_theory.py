@@ -1,0 +1,177 @@
+"""Theory tests: submodular oracle, gamma, linear bandit, regret (Thm 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    GreedyOraclePolicy,
+    LinearDCMEnvironment,
+    LinearRapidUCB,
+    approximation_gamma,
+    dcm_satisfaction,
+    greedy_maximize,
+    run_regret_experiment,
+    theoretical_bound,
+)
+
+
+class TestGreedyMaximize:
+    def test_coverage_greedy_selects_disjoint(self):
+        coverages = [
+            np.array([1.0, 0.0, 0.0]),
+            np.array([0.9, 0.0, 0.0]),
+            np.array([0.0, 1.0, 0.0]),
+        ]
+
+        def gain(selected, candidate):
+            base = 1.0 - np.prod([1.0 - c for c in selected], axis=0) if selected else 0.0
+            new = 1.0 - np.prod([1.0 - c for c in selected + [candidate]], axis=0)
+            return float(np.sum(new - base))
+
+        chosen = greedy_maximize(gain, coverages, k=2)
+        assert np.array_equal(chosen[0], coverages[0])
+        assert np.array_equal(chosen[1], coverages[2])
+
+    def test_respects_k(self):
+        chosen = greedy_maximize(lambda s, c: c, [3.0, 1.0, 2.0], k=2)
+        assert chosen == [3.0, 2.0]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            greedy_maximize(lambda s, c: 0.0, [1], k=0)
+
+
+class TestGammaAndSatisfaction:
+    def test_gamma_k1(self):
+        assert approximation_gamma(1, 0.5) == pytest.approx(1 - 1 / np.e)
+
+    def test_gamma_decreases_with_phi_max(self):
+        assert approximation_gamma(5, 0.9) <= approximation_gamma(5, 0.1)
+
+    def test_gamma_formula(self):
+        # K = 5, phi_max = 1: max(1/5, 1 - 2/4) = 0.5
+        assert approximation_gamma(5, 1.0) == pytest.approx((1 - 1 / np.e) * 0.5)
+        # K = 2, phi_max = 1: max(1/2, 1 - 2) = 0.5 -> the 1/K floor binds
+        assert approximation_gamma(2, 1.0) == pytest.approx((1 - 1 / np.e) * 0.5)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            approximation_gamma(0, 0.5)
+        with pytest.raises(ValueError):
+            approximation_gamma(5, 1.5)
+
+    def test_satisfaction_monotone_in_phi(self):
+        eps = np.array([0.5, 0.5])
+        low = dcm_satisfaction(np.array([0.2, 0.2]), eps)
+        high = dcm_satisfaction(np.array([0.8, 0.8]), eps)
+        assert high > low
+
+
+class TestLinearEnvironment:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return LinearDCMEnvironment.create(seed=0)
+
+    def test_omega_star_within_unit_ball(self, env):
+        # Theorem 5.1 requires ||omega*|| <= 1; the environment uses 0.7 to
+        # keep attraction strictly inside (0, 1) (see linear_rapid.py).
+        assert np.linalg.norm(env.omega_star) == pytest.approx(0.7)
+
+    def test_eta_concatenates_gain(self, env):
+        rng = np.random.default_rng(0)
+        features, coverage = env.sample_candidates(6, rng)
+        eta = env.eta(features, coverage, np.ones(env.num_topics))
+        assert eta.shape == (6, env.q0)
+        assert np.allclose(eta[:, : env.feature_dim], features)
+        assert np.allclose(eta[:, env.feature_dim :], coverage)
+
+    def test_prefix_discounts_gain(self, env):
+        rng = np.random.default_rng(1)
+        features, coverage = env.sample_candidates(3, rng)
+        full = env.eta(features, coverage, np.ones(env.num_topics))
+        half = env.eta(features, coverage, np.full(env.num_topics, 0.5))
+        assert (half[:, env.feature_dim :] <= full[:, env.feature_dim :] + 1e-12).all()
+
+    def test_termination_non_increasing(self, env):
+        assert (np.diff(env.termination) <= 0).all()
+
+    def test_session_click_semantics(self, env):
+        rng = np.random.default_rng(2)
+        clicks, examined = env.simulate_session(np.full(env.k, 0.5), rng)
+        # examined is a prefix
+        if not examined.all():
+            first_false = int(np.argmin(examined))
+            assert not examined[first_false:].any()
+        assert ((clicks == 0) | (clicks == 1)).all()
+
+
+class TestLinearRapidUCB:
+    def test_update_shrinks_uncertainty(self):
+        env = LinearDCMEnvironment.create(seed=0)
+        learner = LinearRapidUCB(env, exploration=1.0)
+        rng = np.random.default_rng(0)
+        features, coverage = env.sample_candidates(5, rng)
+        eta = env.eta(features, coverage, np.ones(env.num_topics))
+        width_before = np.sqrt(
+            np.einsum("ij,jk,ik->i", eta, learner._m_inverse, eta)
+        )
+        learner.update(eta, np.ones(5))
+        width_after = np.sqrt(
+            np.einsum("ij,jk,ik->i", eta, learner._m_inverse, eta)
+        )
+        assert (width_after < width_before).all()
+
+    def test_sherman_morrison_matches_direct_inverse(self):
+        env = LinearDCMEnvironment.create(seed=0)
+        learner = LinearRapidUCB(env)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            features, coverage = env.sample_candidates(4, rng)
+            eta = env.eta(features, coverage, np.ones(env.num_topics))
+            learner.update(eta, rng.random(4))
+        assert np.allclose(
+            learner._m_inverse, np.linalg.inv(learner.m_matrix), atol=1e-8
+        )
+
+    def test_select_returns_k_distinct(self):
+        env = LinearDCMEnvironment.create(seed=0)
+        learner = LinearRapidUCB(env)
+        rng = np.random.default_rng(2)
+        features, coverage = env.sample_candidates(12, rng)
+        order = learner.select(features, coverage)
+        assert len(order) == env.k
+        assert len(set(order.tolist())) == env.k
+
+    def test_negative_exploration_raises(self):
+        env = LinearDCMEnvironment.create(seed=0)
+        with pytest.raises(ValueError):
+            LinearRapidUCB(env, exploration=-1.0)
+
+
+class TestRegretExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_regret_experiment(horizon=600, seed=0, exploration=0.5)
+
+    def test_raw_regret_sublinear(self, result):
+        assert result.sublinearity_ratio() < 1.0
+
+    def test_scaled_regret_below_bound(self, result):
+        assert (result.cumulative_regret <= result.bound).all()
+
+    def test_oracle_dominates_on_average(self, result):
+        assert result.per_round_oracle.mean() >= result.per_round_learner.mean() - 1e-6
+
+    def test_bound_grows_like_sqrt_n(self):
+        bound = theoretical_bound(10000, q0=10, k=5, gamma=0.3, p_v=0.1, exploration=1.0)
+        # bound(4n)/bound(n) ~ 2 for sqrt growth (log factors make it a bit larger)
+        ratio = bound[3999] / bound[999]
+        assert 1.9 < ratio < 2.4
+
+    def test_learner_improves_over_time(self, result):
+        """Per-round regret in the last quarter below the first quarter."""
+        gap = result.per_round_oracle - result.per_round_learner
+        quarter = len(gap) // 4
+        assert gap[-quarter:].mean() < gap[:quarter].mean()

@@ -1,0 +1,66 @@
+"""Properties of the Theorem 5.1 bound and the regret accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import theoretical_bound
+from repro.theory.regret import run_regret_experiment
+
+
+class TestBoundProperties:
+    @given(
+        st.integers(2, 2000),
+        st.integers(2, 30),
+        st.integers(2, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bound_positive_and_increasing(self, n, q0, k):
+        bound = theoretical_bound(n, q0=q0, k=k, gamma=0.3, p_v=0.1, exploration=1.0)
+        assert (bound > 0).all()
+        assert (np.diff(bound) >= 0).all()
+
+    def test_bound_monotone_in_dimension(self):
+        small = theoretical_bound(100, q0=5, k=5, gamma=0.3, p_v=0.1, exploration=1.0)
+        large = theoretical_bound(100, q0=20, k=5, gamma=0.3, p_v=0.1, exploration=1.0)
+        assert (large >= small).all()
+
+    def test_bound_monotone_in_k(self):
+        small = theoretical_bound(100, q0=10, k=3, gamma=0.3, p_v=0.1, exploration=1.0)
+        large = theoretical_bound(100, q0=10, k=8, gamma=0.3, p_v=0.1, exploration=1.0)
+        assert (large >= small).all()
+
+    def test_bound_inverse_in_gamma(self):
+        tight = theoretical_bound(100, q0=10, k=5, gamma=0.6, p_v=0.1, exploration=1.0)
+        loose = theoretical_bound(100, q0=10, k=5, gamma=0.2, p_v=0.1, exploration=1.0)
+        assert (loose >= tight).all()
+
+
+class TestRegretAccounting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_regret_experiment(horizon=300, seed=1, exploration=0.5)
+
+    def test_cumulative_arrays_aligned(self, result):
+        assert len(result.raw_regret) == len(result.cumulative_regret) == 300
+        assert len(result.bound) == 300
+
+    def test_raw_regret_matches_per_round_sums(self, result):
+        reconstructed = np.cumsum(
+            result.per_round_oracle - result.per_round_learner
+        )
+        assert np.allclose(reconstructed, result.raw_regret)
+
+    def test_scaled_regret_below_raw(self, result):
+        """Dividing the learner's utility by gamma < 1 inflates it, so the
+        gamma-scaled regret is always <= the raw regret."""
+        assert (result.cumulative_regret <= result.raw_regret + 1e-9).all()
+
+    def test_utilities_in_unit_interval(self, result):
+        assert ((result.per_round_oracle >= 0) & (result.per_round_oracle <= 1)).all()
+        assert (
+            (result.per_round_learner >= 0) & (result.per_round_learner <= 1)
+        ).all()

@@ -1,0 +1,90 @@
+"""Tests for the alternative exploration policies (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    EpsilonGreedyLinearRapid,
+    LinearDCMEnvironment,
+    ThompsonLinearRapid,
+    compare_explorers,
+    run_regret_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return LinearDCMEnvironment.create(seed=0)
+
+
+class TestEpsilonGreedy:
+    def test_epsilon_one_is_always_random(self, env):
+        learner = EpsilonGreedyLinearRapid(env, epsilon=1.0, seed=0)
+        rng = np.random.default_rng(1)
+        features, coverage = env.sample_candidates(15, rng)
+        orders = {tuple(learner.select(features, coverage)) for _ in range(10)}
+        assert len(orders) > 1  # random rounds differ
+
+    def test_epsilon_zero_is_deterministic(self, env):
+        learner = EpsilonGreedyLinearRapid(env, epsilon=0.0, seed=0)
+        rng = np.random.default_rng(1)
+        features, coverage = env.sample_candidates(15, rng)
+        a = learner.select(features, coverage)
+        b = learner.select(features, coverage)
+        assert np.array_equal(a, b)
+
+    def test_invalid_epsilon(self, env):
+        with pytest.raises(ValueError):
+            EpsilonGreedyLinearRapid(env, epsilon=1.5)
+
+    def test_valid_selection(self, env):
+        learner = EpsilonGreedyLinearRapid(env, epsilon=0.5, seed=0)
+        rng = np.random.default_rng(2)
+        features, coverage = env.sample_candidates(12, rng)
+        order = learner.select(features, coverage)
+        assert len(order) == env.k
+        assert len(set(order.tolist())) == env.k
+
+
+class TestThompson:
+    def test_sampling_varies_across_rounds(self, env):
+        learner = ThompsonLinearRapid(env, posterior_scale=2.0, seed=0)
+        rng = np.random.default_rng(3)
+        features, coverage = env.sample_candidates(15, rng)
+        orders = {tuple(learner.select(features, coverage)) for _ in range(10)}
+        assert len(orders) > 1
+
+    def test_zero_scale_matches_greedy(self, env):
+        thompson = ThompsonLinearRapid(env, posterior_scale=0.0, seed=0)
+        greedy = EpsilonGreedyLinearRapid(env, epsilon=0.0, seed=0)
+        rng = np.random.default_rng(4)
+        features, coverage = env.sample_candidates(12, rng)
+        assert np.array_equal(
+            thompson.select(features, coverage),
+            greedy.select(features, coverage),
+        )
+
+    def test_invalid_scale(self, env):
+        with pytest.raises(ValueError):
+            ThompsonLinearRapid(env, posterior_scale=-0.1)
+
+
+class TestCompareExplorers:
+    def test_all_policies_learn(self):
+        results = compare_explorers(horizon=400, seed=0)
+        assert set(results) == {"ucb", "epsilon-greedy", "thompson"}
+        for name, result in results.items():
+            gap = result.per_round_oracle - result.per_round_learner
+            quarter = len(gap) // 4
+            assert gap[-quarter:].mean() < gap[:quarter].mean() + 0.02, name
+
+    def test_custom_learner_injection(self):
+        env = LinearDCMEnvironment.create(seed=5)
+        learner = ThompsonLinearRapid(env, posterior_scale=0.3, seed=5)
+        result = run_regret_experiment(
+            horizon=200, seed=5, learner=learner, env=env
+        )
+        assert result.horizon == 200
+        assert np.isfinite(result.raw_regret).all()
