@@ -1,0 +1,115 @@
+"""Microbenchmark: obs instrumentation cost with observability *disabled*.
+
+The trainer's hot loop always executes the disabled-path observability
+calls — a ``train.batch`` span, one histogram observation, and a null-sink
+``RunLogger.log`` per batch.  This bench measures that per-batch cost
+directly, measures the real per-batch training cost on a small run, and
+asserts the ratio stays under 5%.
+
+Run the timing assertion directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+The pytest suite wires the same functions in as a structural smoke test
+(``tests/test_obs_overhead_smoke.py``) without the timing assertion, so CI
+stays immune to noisy-neighbor machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.rapid import RapidConfig, make_rapid_variant
+from repro.core.trainer import TrainConfig, train_rapid
+from repro.eval import ExperimentConfig, prepare_bundle
+from repro.obs import RunLogger, Tracer, trace
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.timer import Timings
+
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def instrumentation_cost_per_batch(iterations: int = 20_000) -> float:
+    """Seconds per batch spent in the disabled-path obs calls.
+
+    Replays exactly what ``train_rapid`` does per batch when no sink is
+    installed: open/close a nested span, observe one histogram sample, and
+    call ``log`` on a null-sink logger.
+    """
+    registry = MetricsRegistry()
+    hist = registry.histogram("bench.batch_ms")
+    logger = RunLogger()  # null sink — the library default
+    tracer = Tracer()
+    start = time.perf_counter()
+    with trace("train.run", tracer):
+        with trace("train.epoch", tracer):
+            for _ in range(iterations):
+                with trace("train.batch", tracer):
+                    pass
+                hist.observe(1.0)
+                logger.log("train.batch", epoch=0, batch=0, loss=0.0,
+                           grad_norm=0.0, batch_ms=0.0)
+    return (time.perf_counter() - start) / iterations
+
+
+def mean_batch_seconds() -> float:
+    """Mean per-batch wall time of a small real training run."""
+    config = ExperimentConfig(
+        dataset="taobao",
+        scale="tiny",
+        list_length=8,
+        num_train_requests=48,
+        num_test_requests=8,
+        ranker_interactions=300,
+        hidden=4,
+        train=TrainConfig(epochs=2, batch_size=16),
+        seed=0,
+    )
+    bundle = prepare_bundle(config)
+    rapid_config = RapidConfig(
+        user_dim=bundle.world.population.feature_dim,
+        item_dim=bundle.world.catalog.feature_dim,
+        num_topics=bundle.world.catalog.num_topics,
+        hidden=4,
+        seed=0,
+    )
+    timings = Timings()
+    train_rapid(
+        make_rapid_variant("rapid-det", rapid_config),
+        bundle.train_requests,
+        bundle.world.catalog,
+        bundle.world.population,
+        bundle.histories,
+        config=config.train,
+        timings=timings,
+    )
+    return timings.mean_ms / 1000.0
+
+
+def measure(iterations: int = 20_000) -> dict[str, float]:
+    """Return the overhead breakdown: per-call cost, batch cost, fraction."""
+    obs_seconds = instrumentation_cost_per_batch(iterations)
+    batch_seconds = mean_batch_seconds()
+    return {
+        "obs_us_per_batch": 1e6 * obs_seconds,
+        "train_ms_per_batch": 1e3 * batch_seconds,
+        "overhead_fraction": obs_seconds / batch_seconds,
+    }
+
+
+def main() -> None:
+    result = measure()
+    print(
+        f"disabled-path obs cost: {result['obs_us_per_batch']:.2f} us/batch\n"
+        f"training cost:          {result['train_ms_per_batch']:.2f} ms/batch\n"
+        f"overhead:               {100 * result['overhead_fraction']:.3f}%"
+    )
+    assert result["overhead_fraction"] < MAX_DISABLED_OVERHEAD, (
+        f"disabled instrumentation overhead {result['overhead_fraction']:.2%} "
+        f"exceeds the {MAX_DISABLED_OVERHEAD:.0%} budget"
+    )
+    print(f"OK (< {MAX_DISABLED_OVERHEAD:.0%} budget)")
+
+
+if __name__ == "__main__":
+    main()

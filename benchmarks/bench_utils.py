@@ -9,10 +9,13 @@ capture.  Set ``REPRO_BENCH_PROFILE=full`` for the larger profile.
 from __future__ import annotations
 
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.trainer import TrainConfig
 from repro.eval import ExperimentConfig
+from repro.obs import get_registry
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -84,3 +87,27 @@ def publish(name: str, text: str) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def bench_histogram(stage: str, **labels):
+    """Registry-backed latency histogram for a benchmark stage.
+
+    All benches share the ``bench.<stage>_ms`` namespace in the
+    process-global registry, so one pytest-benchmark session accumulates
+    p50/p95/p99 across datasets — the registry replaces the per-bench
+    ad-hoc ``Timings`` instances (which are now thin shims over the same
+    histogram type; see ``repro.utils.timer``).
+    """
+    return get_registry().histogram(f"bench.{stage}_ms", **labels)
+
+
+@contextmanager
+def bench_timer(stage: str, **labels):
+    """Time a block into :func:`bench_histogram`'s series (milliseconds)."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        bench_histogram(stage, **labels).observe(
+            1000.0 * (time.perf_counter() - start)
+        )

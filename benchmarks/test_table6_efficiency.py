@@ -18,13 +18,17 @@ from repro.eval import format_table, prepare_bundle
 from repro.rerank import DESAReranker, PRMReranker
 from repro.utils.timer import Timings
 
-from bench_utils import experiment_config, publish
+from bench_utils import bench_histogram, bench_timer, experiment_config, publish
 
 
-def _measure(make_model, bundle) -> dict[str, float]:
+def _measure(make_model, bundle, label: str) -> dict[str, float]:
     world = bundle.world
+    dataset = bundle.config.dataset
     model = make_model()
-    timings = Timings()
+    # Registry-backed series: per-batch training times accumulate in the
+    # global ``bench.train_batch_ms{model=...,dataset=...}`` histogram;
+    # Timings is just the shim that feeds it.
+    timings = Timings(bench_histogram("train_batch", model=label, dataset=dataset))
     start = time.perf_counter()
     if isinstance(model, RapidReranker):
         from repro.core.trainer import train_rapid
@@ -48,18 +52,17 @@ def _measure(make_model, bundle) -> dict[str, float]:
         )
     train_all = time.perf_counter() - start
 
-    inference = Timings()
+    inference = bench_histogram("test_batch", model=label, dataset=dataset)
     batch = build_batch(
         bundle.test_requests[:64], world.catalog, world.population, bundle.histories
     )
     for _ in range(5):
-        t0 = time.perf_counter()
-        model.score_batch(batch)
-        inference.add(time.perf_counter() - t0)
+        with bench_timer("test_batch", model=label, dataset=dataset):
+            model.score_batch(batch)
     return {
         "train-all (s)": train_all,
         "train-b (ms)": timings.mean_ms,
-        "test-b (ms)": inference.mean_ms,
+        "test-b (ms)": inference.mean,
     }
 
 
@@ -81,18 +84,21 @@ def _run() -> str:
                     hidden=config.hidden, epochs=config.train.epochs
                 ),
                 bundle,
+                "prm",
             ),
             "desa": _measure(
                 lambda: DESAReranker(
                     hidden=config.hidden, epochs=config.train.epochs
                 ),
                 bundle,
+                "desa",
             ),
             "rapid": _measure(
                 lambda: RapidReranker(
                     rapid_config, "rapid-pro", train_config=config.train
                 ),
                 bundle,
+                "rapid",
             ),
         }
         blocks.append(

@@ -4,10 +4,18 @@ Builds a small Taobao-like world, trains a DIN initial ranker, simulates
 clicks with the Dependent Click Model, trains RAPID end-to-end, and shows
 how the re-ranked list differs from the initial one for a single user.
 
+The whole run executes inside ``repro.obs.observed_run``, so it also
+demonstrates the telemetry stack: a JSONL run log is written to
+``quickstart_run.jsonl`` and summarized at the end (loss curve, slowest
+spans, top autograd ops) — the same summary you get later from
+``python -m repro.obs.report quickstart_run.jsonl``.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 
@@ -19,6 +27,10 @@ from repro.eval import (
     make_reranker,
     prepare_bundle,
 )
+from repro.obs import observed_run, profile_ops
+from repro.obs.report import report_path
+
+RUN_LOG = Path("quickstart_run.jsonl")
 
 
 def main() -> None:
@@ -40,12 +52,13 @@ def main() -> None:
 
     print("2. Training RAPID (probabilistic head, Bi-LSTM relevance)...")
     rapid = make_reranker("rapid-pro", bundle)
-    rapid.fit(
-        bundle.train_requests,
-        bundle.world.catalog,
-        bundle.world.population,
-        bundle.histories,
-    )
+    with profile_ops(reset=False):  # autograd op profile lands in the run log
+        rapid.fit(
+            bundle.train_requests,
+            bundle.world.catalog,
+            bundle.world.population,
+            bundle.histories,
+        )
     print(f"   epoch losses: {[round(l, 4) for l in rapid.training_losses]}")
 
     print("3. Evaluating on held-out requests (DCM expected metrics)...")
@@ -77,4 +90,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    RUN_LOG.unlink(missing_ok=True)  # JsonlSink appends; start fresh
+    with observed_run(RUN_LOG, run_id="quickstart"):
+        main()
+    print(f"\n5. Telemetry summary (from {RUN_LOG}):\n")
+    print(report_path(RUN_LOG))
+    print(
+        f"\n   Re-render any time with: python -m repro.obs.report {RUN_LOG}"
+    )

@@ -13,6 +13,8 @@ Public API highlights
 - :mod:`repro.metrics` — click@k, ndcg@k, div@k, satis@k, rev@k.
 - :mod:`repro.theory` — linear RAPID bandit + regret analysis (Theorem 5.1).
 - :mod:`repro.nn` — the from-scratch autograd / neural-net substrate.
+- :mod:`repro.obs` — metrics registry, span tracing, JSONL run logs, and
+  the autograd op profiler (``python -m repro.obs.report run.jsonl``).
 """
 
 __version__ = "1.0.0"

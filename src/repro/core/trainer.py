@@ -9,6 +9,7 @@ harness and the baselines.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -17,6 +18,7 @@ import numpy as np
 from .. import nn
 from ..data.batching import RerankBatch, iterate_batches
 from ..data.schema import Catalog, Population, RankingRequest
+from ..obs import RunLogger, get_registry, get_run_logger, trace
 from ..rerank.base import Reranker
 from ..utils.rng import make_rng
 from ..utils.timer import Timings
@@ -46,49 +48,102 @@ def train_rapid(
     population: Population,
     histories: list[np.ndarray],
     config: TrainConfig = TrainConfig(),
-    on_epoch_end: Callable[[int, float], None] | None = None,
+    on_epoch_end: Callable[[int, float], object] | None = None,
     timings: Timings | None = None,
+    run_logger: RunLogger | None = None,
 ) -> list[float]:
-    """Train ``model`` in place; returns the per-epoch mean losses."""
+    """Train ``model`` in place; returns the per-epoch mean losses.
+
+    ``on_epoch_end(epoch, mean_loss)`` is invoked after every epoch;
+    returning a truthy value stops training early (the losses recorded so
+    far are returned).  Telemetry goes to ``run_logger`` (the global run
+    logger when omitted — silent by default) and to the process-global
+    metrics registry/tracer: per-batch ``train.batch`` events and spans,
+    per-epoch ``train.epoch`` events with loss, grad norm, learning rate
+    and throughput, and a ``train.batch_ms`` latency histogram.
+    """
     if not requests:
         raise ValueError("no training requests provided")
+    logger = run_logger if run_logger is not None else get_run_logger()
+    batch_hist = get_registry().histogram("train.batch_ms")
     optimizer = nn.Adam(
         model.parameters(), lr=config.lr, weight_decay=config.weight_decay
     )
     noise_rng = make_rng(config.seed + 1)
     losses: list[float] = []
     model.train()
-    for epoch in range(config.epochs):
-        epoch_losses: list[float] = []
-        for batch in iterate_batches(
-            requests,
-            catalog,
-            population,
-            histories,
+    with trace("train.run"):
+        logger.log(
+            "train.start",
+            model=type(model).__name__,
+            epochs=config.epochs,
             batch_size=config.batch_size,
-            shuffle=True,
-            seed=config.seed + epoch,
-            topic_history_length=config.topic_history_length,
-            flat_history_length=config.flat_history_length,
-        ):
-            import time as _time
-
-            start = _time.perf_counter()
-            optimizer.zero_grad()
-            probs = model(batch, rng=noise_rng)
-            loss = nn.losses.pointwise_bce(
-                probs, batch.clicks, mask=batch.training_mask
+            lr=config.lr,
+            num_requests=len(requests),
+        )
+        for epoch in range(config.epochs):
+            epoch_losses: list[float] = []
+            grad_norms: list[float] = []
+            lists_seen = 0
+            epoch_start = time.perf_counter()
+            with trace("train.epoch"):
+                for batch_index, batch in enumerate(
+                    iterate_batches(
+                        requests,
+                        catalog,
+                        population,
+                        histories,
+                        batch_size=config.batch_size,
+                        shuffle=True,
+                        seed=config.seed + epoch,
+                        topic_history_length=config.topic_history_length,
+                        flat_history_length=config.flat_history_length,
+                    )
+                ):
+                    with trace("train.batch"):
+                        start = time.perf_counter()
+                        optimizer.zero_grad()
+                        probs = model(batch, rng=noise_rng)
+                        loss = nn.losses.pointwise_bce(
+                            probs, batch.clicks, mask=batch.training_mask
+                        )
+                        loss.backward()
+                        grad_norm = nn.clip_grad_norm(
+                            model.parameters(), config.grad_clip
+                        )
+                        optimizer.step()
+                        batch_seconds = time.perf_counter() - start
+                    batch_hist.observe(1000.0 * batch_seconds)
+                    if timings is not None:
+                        timings.add(batch_seconds)
+                    epoch_losses.append(loss.item())
+                    grad_norms.append(float(grad_norm))
+                    lists_seen += batch.batch_size
+                    logger.log(
+                        "train.batch",
+                        epoch=epoch,
+                        batch=batch_index,
+                        loss=epoch_losses[-1],
+                        grad_norm=grad_norms[-1],
+                        batch_ms=1000.0 * batch_seconds,
+                    )
+            epoch_seconds = time.perf_counter() - epoch_start
+            mean_loss = float(np.mean(epoch_losses))
+            losses.append(mean_loss)
+            get_registry().gauge("train.loss").set(mean_loss)
+            logger.log(
+                "train.epoch",
+                epoch=epoch,
+                loss=mean_loss,
+                grad_norm=float(np.mean(grad_norms)) if grad_norms else 0.0,
+                lr=config.lr,
+                lists_per_sec=lists_seen / epoch_seconds if epoch_seconds else 0.0,
+                epoch_s=epoch_seconds,
             )
-            loss.backward()
-            nn.clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            if timings is not None:
-                timings.add(_time.perf_counter() - start)
-            epoch_losses.append(loss.item())
-        mean_loss = float(np.mean(epoch_losses))
-        losses.append(mean_loss)
-        if on_epoch_end is not None:
-            on_epoch_end(epoch, mean_loss)
+            if on_epoch_end is not None and on_epoch_end(epoch, mean_loss):
+                logger.log("train.early_stop", epoch=epoch, loss=mean_loss)
+                break
+        logger.log("train.end", epochs_run=len(losses), final_loss=losses[-1])
     return losses
 
 

@@ -35,6 +35,7 @@ from ..data import (
     make_taobao_world,
 )
 from ..metrics import clicks_at_k, div_at_k, ndcg_at_k, revenue_at_k, satis_at_k
+from ..obs import get_registry, get_run_logger, trace
 from ..rankers import DINRanker, InitialRanker, LambdaMARTRanker, SVMRankRanker
 from ..rerank import (
     AdaptiveMMRReranker,
@@ -99,13 +100,21 @@ class EvaluationResult:
         return self.metrics[key]
 
 
+@trace("eval.prepare_bundle")
 def prepare_bundle(config: ExperimentConfig) -> ExperimentBundle:
     """Run stages 1-3: world, initial ranker, click-labeled requests."""
-    world = _WORLD_BUILDERS[config.dataset](scale=config.scale, seed=config.seed)
-    histories = world.sample_histories()
+    get_run_logger().log("experiment.prepare", **config.tags())
+    with trace("eval.build_world"):
+        world = _WORLD_BUILDERS[config.dataset](
+            scale=config.scale, seed=config.seed
+        )
+        histories = world.sample_histories()
     ranker = _RANKER_BUILDERS[config.initial_ranker](config.seed)
     interactions = world.sample_ranker_training(config.ranker_interactions)
-    ranker.fit(interactions, world.catalog, world.population, histories=histories)
+    with trace("eval.fit_initial_ranker"):
+        ranker.fit(
+            interactions, world.catalog, world.population, histories=histories
+        )
 
     # The App Store's logged clicks always come from its production-like
     # model (a fixed-lambda DCM here); the public datasets use the
@@ -225,63 +234,102 @@ def evaluate_reranker(
     expected clicks / satisfaction (deterministic, unbiased); ``logged``
     mode replays the clicks logged on the initial list (the App Store
     protocol) — a clicked item counts wherever the re-ranker places it.
+
+    Telemetry: re-ranking runs inside an ``eval.rerank`` span (with a
+    child span per batch pass — ``rerank()`` itself also feeds the
+    ``rerank.latency_ms`` histogram), metric computation inside an
+    ``eval.metrics`` span, and every aggregate metric is published as an
+    ``eval.<metric>{model=...}`` gauge plus a per-list latency gauge
+    ``eval.rerank_ms_per_list{model=...}``.
     """
     config = bundle.config
+    model_name = getattr(reranker, "name", None) or "init"
     ks = tuple(ks) if ks is not None else config.eval_ks
     catalog = bundle.world.catalog
     requests = bundle.test_requests
 
-    permutations: list[np.ndarray] = []
-    for start in range(0, len(requests), eval_batch_size):
-        chunk = requests[start : start + eval_batch_size]
-        batch = build_batch(
-            chunk,
-            catalog,
-            bundle.world.population,
-            bundle.histories,
-            topic_history_length=config.train.topic_history_length,
-            flat_history_length=config.train.flat_history_length,
-        )
-        perm = identity_permutation(batch) if reranker is None else reranker.rerank(batch)
-        permutations.extend(perm[row] for row in range(len(chunk)))
-
-    click_rows: list[np.ndarray] = []
-    coverage_rows: list[np.ndarray] = []
-    attraction_rows: list[np.ndarray] = []
-    bid_rows: list[np.ndarray] = []
-    for request, perm in zip(requests, permutations):
-        order = perm[: request.list_length]
-        items = request.items[order]
-        coverage_rows.append(catalog.coverage[items])
-        if catalog.bids is not None:
-            bid_rows.append(catalog.bids[items])
-        phi = bundle.click_model.attraction_probabilities(request.user_id, items)
-        eps = bundle.click_model.termination_probabilities(len(items))
-        attraction_rows.append(phi)
-        if config.eval_mode == "expected":
-            examine = np.concatenate(
-                [[1.0], np.cumprod(1.0 - phi * eps)[:-1]]
+    with trace("eval.rerank"):
+        permutations: list[np.ndarray] = []
+        rerank_seconds = 0.0
+        for start in range(0, len(requests), eval_batch_size):
+            chunk = requests[start : start + eval_batch_size]
+            batch = build_batch(
+                chunk,
+                catalog,
+                bundle.world.population,
+                bundle.histories,
+                topic_history_length=config.train.topic_history_length,
+                flat_history_length=config.train.flat_history_length,
             )
-            click_rows.append(examine * phi)
-        else:
-            click_rows.append(request.clicks[order])
+            with trace("eval.rerank_batch") as span:
+                perm = (
+                    identity_permutation(batch)
+                    if reranker is None
+                    else reranker.rerank(batch)
+                )
+            rerank_seconds += span.duration_s
+            permutations.extend(perm[row] for row in range(len(chunk)))
 
-    # NDCG relevance labels: attraction probabilities in expected mode
-    # (position-unconfounded), realized clicks in logged mode.
-    ndcg_rows = attraction_rows if config.eval_mode == "expected" else click_rows
-    metrics: dict[str, float] = {}
-    termination = bundle.click_model.termination_probabilities(config.list_length)
-    for k in ks:
-        metrics[f"click@{k}"] = clicks_at_k(click_rows, k)
-        metrics[f"ndcg@{k}"] = ndcg_at_k(ndcg_rows, k)
-        metrics[f"div@{k}"] = div_at_k(coverage_rows, k)
-        metrics[f"satis@{k}"] = satis_at_k(attraction_rows, termination, k)
-        if bid_rows:
-            metrics[f"rev@{k}"] = revenue_at_k(click_rows, bid_rows, k)
+    with trace("eval.metrics"):
+        click_rows: list[np.ndarray] = []
+        coverage_rows: list[np.ndarray] = []
+        attraction_rows: list[np.ndarray] = []
+        bid_rows: list[np.ndarray] = []
+        for request, perm in zip(requests, permutations):
+            order = perm[: request.list_length]
+            items = request.items[order]
+            coverage_rows.append(catalog.coverage[items])
+            if catalog.bids is not None:
+                bid_rows.append(catalog.bids[items])
+            phi = bundle.click_model.attraction_probabilities(
+                request.user_id, items
+            )
+            eps = bundle.click_model.termination_probabilities(len(items))
+            attraction_rows.append(phi)
+            if config.eval_mode == "expected":
+                examine = np.concatenate(
+                    [[1.0], np.cumprod(1.0 - phi * eps)[:-1]]
+                )
+                click_rows.append(examine * phi)
+            else:
+                click_rows.append(request.clicks[order])
 
-    per_request = {
-        k: np.asarray([row[:k].sum() for row in click_rows]) for k in ks
-    }
+        # NDCG relevance labels: attraction probabilities in expected mode
+        # (position-unconfounded), realized clicks in logged mode.
+        ndcg_rows = (
+            attraction_rows if config.eval_mode == "expected" else click_rows
+        )
+        metrics: dict[str, float] = {}
+        termination = bundle.click_model.termination_probabilities(
+            config.list_length
+        )
+        for k in ks:
+            metrics[f"click@{k}"] = clicks_at_k(click_rows, k)
+            metrics[f"ndcg@{k}"] = ndcg_at_k(ndcg_rows, k)
+            metrics[f"div@{k}"] = div_at_k(coverage_rows, k)
+            metrics[f"satis@{k}"] = satis_at_k(attraction_rows, termination, k)
+            if bid_rows:
+                metrics[f"rev@{k}"] = revenue_at_k(click_rows, bid_rows, k)
+
+        per_request = {
+            k: np.asarray([row[:k].sum() for row in click_rows]) for k in ks
+        }
+
+    registry = get_registry()
+    rerank_ms_per_list = (
+        1000.0 * rerank_seconds / len(requests) if requests else 0.0
+    )
+    registry.gauge("eval.rerank_ms_per_list", model=model_name).set(
+        rerank_ms_per_list
+    )
+    for metric_name, value in metrics.items():
+        registry.gauge(f"eval.{metric_name}", model=model_name).set(value)
+    get_run_logger().log(
+        "eval.result",
+        model=model_name,
+        rerank_ms_per_list=rerank_ms_per_list,
+        **metrics,
+    )
     return EvaluationResult(metrics=metrics, per_request_clicks=per_request)
 
 
@@ -290,17 +338,28 @@ def run_experiment(
     models: Sequence[str],
     bundle: ExperimentBundle | None = None,
 ) -> dict[str, EvaluationResult]:
-    """Fit and evaluate each named model; returns name -> result."""
+    """Fit and evaluate each named model; returns name -> result.
+
+    Each model runs under an ``experiment.model`` span with ``fit`` /
+    ``evaluate`` children, and the run logger receives ``experiment.start``
+    and per-model ``eval.result`` events (silent unless a sink is
+    installed; see ``repro.obs``).
+    """
+    logger = get_run_logger()
+    logger.log("experiment.start", models=list(models), **config.tags())
     bundle = bundle if bundle is not None else prepare_bundle(config)
     results: dict[str, EvaluationResult] = {}
     for name in models:
-        reranker = make_reranker(name, bundle)
-        if reranker is not None and reranker.requires_training:
-            reranker.fit(
-                bundle.train_requests,
-                bundle.world.catalog,
-                bundle.world.population,
-                bundle.histories,
-            )
-        results[name] = evaluate_reranker(reranker, bundle)
+        with trace(f"experiment.model:{name}"):
+            reranker = make_reranker(name, bundle)
+            if reranker is not None and reranker.requires_training:
+                with trace("fit"):
+                    reranker.fit(
+                        bundle.train_requests,
+                        bundle.world.catalog,
+                        bundle.world.population,
+                        bundle.histories,
+                    )
+            with trace("evaluate"):
+                results[name] = evaluate_reranker(reranker, bundle)
     return results

@@ -68,6 +68,21 @@ class ExperimentConfig:
     train: TrainConfig = field(default_factory=TrainConfig)
     seed: int = 0
 
+    def tags(self) -> dict[str, object]:
+        """Flat scalar summary for run-log events and experiment tracking."""
+        return {
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "tradeoff": self.tradeoff,
+            "initial_ranker": self.initial_ranker,
+            "list_length": self.list_length,
+            "eval_mode": self.eval_mode,
+            "num_train_requests": self.num_train_requests,
+            "num_test_requests": self.num_test_requests,
+            "epochs": self.train.epochs,
+            "seed": self.seed,
+        }
+
     def __post_init__(self) -> None:
         if self.dataset not in ("taobao", "movielens", "appstore"):
             raise ValueError(f"unknown dataset {self.dataset!r}")

@@ -11,6 +11,12 @@ Gradients are accumulated in ``Tensor.grad`` by :meth:`Tensor.backward`,
 which performs a topological sort of the recorded computation graph and runs
 each node's backward closure exactly once.  All backward rules are verified
 against central finite differences in ``tests/test_nn_tensor.py``.
+
+Profiling hook: every differentiable op dispatches through the method named
+in :data:`PROFILED_OPS`; ``repro.obs.autograd`` instruments exactly that
+list (timing forwards and wrapping the ``_backward`` closures each op
+registers) when the opt-in op profiler is enabled.  Nothing here is patched
+or slowed down unless the profiler is turned on.
 """
 
 from __future__ import annotations
@@ -19,9 +25,50 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "PROFILED_OPS",
+]
 
 _GRAD_ENABLED = True
+
+# The op-dispatch surface of the autograd engine: one entry per method that
+# records a graph node.  ``repro.obs.autograd.enable_op_profiler`` hooks
+# these by name; keep this list in sync when adding ops.
+PROFILED_OPS: tuple[str, ...] = (
+    "__add__",
+    "__radd__",
+    "__neg__",
+    "__sub__",
+    "__rsub__",
+    "__mul__",
+    "__rmul__",
+    "__truediv__",
+    "__rtruediv__",
+    "__pow__",
+    "__matmul__",
+    "__getitem__",
+    "exp",
+    "log",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "clip",
+    "abs",
+    "sum",
+    "mean",
+    "max",
+    "reshape",
+    "transpose",
+    "concatenate",
+    "stack",
+    "where",
+    "softmax",
+    "log_softmax",
+)
 
 
 class no_grad:

@@ -1,0 +1,281 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+The registry is the numeric backbone of ``repro.obs``.  Instrumented code
+asks the registry for a metric by name (plus optional labels) and updates
+it; readers call :meth:`MetricsRegistry.collect` for a point-in-time
+snapshot.  All updates are thread-safe, and every metric is held purely in
+memory — recording never performs I/O, so always-on instrumentation is safe
+for library use (see DESIGN.md, "Observability").
+
+Three metric kinds are supported:
+
+- :class:`Counter` — monotonically increasing total (op counts, events);
+- :class:`Gauge` — last-written value (current loss, alpha-NDCG);
+- :class:`Histogram` — sample distribution with mean and p50/p95/p99
+  quantiles (latencies, per-batch times).
+
+Labeled series: ``registry.histogram("rerank.latency_ms", reranker="mmr")``
+creates one independent series per distinct label set.  To catch accidental
+cardinality explosions (e.g. labeling by request id), a registry refuses to
+create more than ``max_series_per_metric`` series for one metric name.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+]
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _normalize_labels(labels: dict[str, object]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared name/label plumbing for all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def __repr__(self) -> str:
+        labels = "".join(f", {k}={v}" for k, v in self.labels)
+        return f"{type(self).__name__}({self.name!r}{labels})"
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.label_dict,
+            "value": self._value,
+        }
+
+
+class Gauge(_Metric):
+    """Last-written value, with optional add/sub convenience."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.label_dict,
+            "value": self._value,
+        }
+
+
+class Histogram(_Metric):
+    """Sample distribution with interpolated quantiles.
+
+    Samples are kept sorted so quantile reads are O(1) after an O(log n)
+    insert.  ``max_samples`` bounds memory on long runs: once full, a
+    coarse reservoir policy keeps every other sample (count/sum stay exact;
+    quantiles become approximate, which is fine for telemetry).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: Labels = (), max_samples: int = 100_000
+    ) -> None:
+        super().__init__(name, labels)
+        self._sorted: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if len(self._sorted) >= self._max_samples:
+                self._sorted = self._sorted[::2]
+            insort(self._sorted, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile ``q`` in [0, 1] of observed samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            samples = self._sorted
+            if not samples:
+                return 0.0
+            position = q * (len(samples) - 1)
+            low = int(position)
+            high = min(low + 1, len(samples) - 1)
+            frac = position - low
+            return samples[low] * (1.0 - frac) + samples[high] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.label_dict,
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe collection of labeled metric series.
+
+    One registry is usually enough — :func:`get_registry` returns the
+    process-global instance — but independent registries can be created for
+    tests or isolated subsystems.
+    """
+
+    def __init__(self, max_series_per_metric: int = 1000) -> None:
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, str, Labels], _Metric] = {}
+        self._per_name: dict[str, int] = {}
+        self.max_series_per_metric = max_series_per_metric
+
+    def _get_or_create(self, cls: type, name: str, labels: dict[str, object]):
+        key = (cls.kind, name, _normalize_labels(labels))
+        with self._lock:
+            metric = self._series.get(key)
+            if metric is not None:
+                return metric
+            for kind, existing_name, _ in self._series:
+                if existing_name == name and kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {kind}, "
+                        f"cannot re-register as a {cls.kind}"
+                    )
+            count = self._per_name.get(name, 0)
+            if count >= self.max_series_per_metric:
+                raise ValueError(
+                    f"metric {name!r} exceeded max_series_per_metric="
+                    f"{self.max_series_per_metric}; a label is probably "
+                    "unbounded (request ids, timestamps, ...)"
+                )
+            metric = cls(name, key[2])
+            self._series[key] = metric
+            self._per_name[name] = count + 1
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    def collect(self) -> list[dict]:
+        """Point-in-time snapshot of every series, sorted by (name, labels)."""
+        with self._lock:
+            metrics = list(self._series.values())
+        return sorted(
+            (m.snapshot() for m in metrics),
+            key=lambda s: (s["name"], tuple(sorted(s["labels"].items()))),
+        )
+
+    def reset(self) -> None:
+        """Drop every registered series."""
+        with self._lock:
+            self._series.clear()
+            self._per_name.clear()
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """Return the process-global registry used by built-in instrumentation."""
+    return _GLOBAL_REGISTRY
+
+
+def reset_registry() -> None:
+    """Clear the process-global registry (tests, start of a fresh run)."""
+    _GLOBAL_REGISTRY.reset()

@@ -1,0 +1,162 @@
+"""Render a human-readable summary of a JSONL run log.
+
+Usage::
+
+    python -m repro.obs.report run.jsonl
+
+Sections (each skipped when the log has no matching events):
+
+- run header — run id, event count, wall-clock extent;
+- loss curve — one row per ``train.epoch`` event;
+- evaluation results — one row per ``eval.result`` event;
+- slowest spans — ``span`` summary events sorted by total time;
+- top autograd ops — ``autograd.op`` events sorted by total time.
+
+Programmatic entry points: :func:`render_report` on already-loaded records,
+:func:`report_path` for a file.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .runlog import read_jsonl
+
+__all__ = ["render_report", "report_path", "main"]
+
+
+def _format_cell(value, precision: int = 4) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _format_table(rows: list[dict], columns: list[str], precision: int = 4) -> str:
+    """Minimal fixed-width table over a list of dict rows."""
+    cells = [
+        [_format_cell(row.get(col, ""), precision) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    divider = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        for line in cells
+    ]
+    return "\n".join([header, divider, *body])
+
+
+def _section(title: str, body: str) -> str:
+    return f"{title}\n{body}"
+
+
+def render_report(records: list[dict], top: int = 10) -> str:
+    """Build the full text report from loaded run-log records."""
+    if not records:
+        return "(empty run log)"
+    sections: list[str] = []
+
+    run_ids = sorted({r.get("run_id", "?") for r in records})
+    timestamps = [r["ts"] for r in records if isinstance(r.get("ts"), (int, float))]
+    extent = (max(timestamps) - min(timestamps)) if len(timestamps) > 1 else 0.0
+    sections.append(
+        f"run {', '.join(run_ids)} — {len(records)} events, "
+        f"{extent:.2f}s wall-clock extent"
+    )
+
+    epochs = [r for r in records if r.get("event") == "train.epoch"]
+    if epochs:
+        sections.append(
+            _section(
+                "Training loss curve",
+                _format_table(
+                    epochs,
+                    ["epoch", "loss", "grad_norm", "lists_per_sec", "epoch_s"],
+                ),
+            )
+        )
+
+    evals = [r for r in records if r.get("event") == "eval.result"]
+    if evals:
+        metric_keys = sorted(
+            {k for r in evals for k in r if "@" in k}
+        )
+        sections.append(
+            _section(
+                "Evaluation results",
+                _format_table(evals, ["model", *metric_keys]),
+            )
+        )
+
+    spans = [r for r in records if r.get("event") == "span"]
+    if spans:
+        spans = sorted(spans, key=lambda r: r.get("total_ms", 0.0), reverse=True)
+        sections.append(
+            _section(
+                f"Slowest spans (top {top})",
+                _format_table(
+                    spans[:top],
+                    ["path", "count", "total_ms", "mean_ms"],
+                    precision=2,
+                ),
+            )
+        )
+
+    ops = [r for r in records if r.get("event") == "autograd.op"]
+    if ops:
+        ops = sorted(ops, key=lambda r: r.get("total_ms", 0.0), reverse=True)
+        sections.append(
+            _section(
+                f"Top autograd ops (top {top})",
+                _format_table(
+                    ops[:top],
+                    [
+                        "op",
+                        "forward_calls",
+                        "forward_ms",
+                        "backward_calls",
+                        "backward_ms",
+                        "total_ms",
+                    ],
+                    precision=2,
+                ),
+            )
+        )
+
+    return "\n\n".join(sections)
+
+
+def report_path(path: str | Path, top: int = 10) -> str:
+    return render_report(read_jsonl(path), top=top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.obs.report <run.jsonl> [top_n]")
+        return 0 if argv else 2
+    try:
+        top = int(argv[1]) if len(argv) > 1 else 10
+    except ValueError:
+        print(f"error: top_n must be an integer, got {argv[1]!r}", file=sys.stderr)
+        return 2
+    try:
+        print(report_path(argv[0], top=top))
+    except FileNotFoundError:
+        print(f"error: no such run log: {argv[0]}", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # malformed JSONL line (json.JSONDecodeError)
+        print(f"error: {argv[0]} is not valid JSONL: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. piped into head
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

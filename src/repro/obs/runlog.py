@@ -1,0 +1,149 @@
+"""Structured JSONL run log with a null sink by default.
+
+A :class:`RunLogger` turns ``logger.log("train.epoch", epoch=3, loss=0.2)``
+into one JSON record per line::
+
+    {"ts": 1722870000.123, "run_id": "a1b2c3d4", "event": "train.epoch",
+     "epoch": 3, "loss": 0.2}
+
+The default sink is :class:`NullSink`: ``log`` short-circuits before
+building the record, so instrumented library code costs a single attribute
+check and performs **no file I/O** unless a caller opts in by installing a
+:class:`JsonlSink` (files) or :class:`MemorySink` (tests).  See DESIGN.md,
+"Observability" for the policy rationale.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from pathlib import Path
+
+__all__ = [
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "RunLogger",
+    "get_run_logger",
+    "set_run_logger",
+    "read_jsonl",
+]
+
+
+class NullSink:
+    """Discards everything; the library-safe default."""
+
+    active = False
+
+    def write(self, record: dict) -> None:  # pragma: no cover - never called
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Keeps records in a list — the sink test suites use."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def events(self, name: str | None = None) -> list[dict]:
+        if name is None:
+            return list(self.records)
+        return [r for r in self.records if r.get("event") == name]
+
+
+class JsonlSink:
+    """Appends one JSON object per line to ``path`` (opened lazily)."""
+
+    active = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def write(self, record: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        json.dump(record, self._handle, default=_json_fallback)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _json_fallback(value):
+    """Serialize numpy scalars/arrays and other oddballs losslessly enough."""
+    if hasattr(value, "item") and getattr(value, "size", None) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return repr(value)
+
+
+class RunLogger:
+    """Structured event logger bound to one run id and one sink."""
+
+    def __init__(self, sink=None, run_id: str | None = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:8]
+
+    @property
+    def active(self) -> bool:
+        """False for the null sink — the cheap guard for costly field prep."""
+        return self.sink.active
+
+    def log(self, event: str, **fields) -> None:
+        if not self.sink.active:
+            return
+        record = {"ts": time.time(), "run_id": self.run_id, "event": event}
+        record.update(fields)
+        self.sink.write(record)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+_NULL_LOGGER = RunLogger()
+_GLOBAL_LOGGER = _NULL_LOGGER
+
+
+def get_run_logger() -> RunLogger:
+    """The logger built-in instrumentation writes to (null by default)."""
+    return _GLOBAL_LOGGER
+
+
+def set_run_logger(logger: RunLogger | None) -> RunLogger:
+    """Install ``logger`` globally (``None`` restores the silent default).
+
+    Returns the previously installed logger so callers can restore it.
+    """
+    global _GLOBAL_LOGGER
+    previous = _GLOBAL_LOGGER
+    _GLOBAL_LOGGER = logger if logger is not None else _NULL_LOGGER
+    return previous
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load every record of a JSONL run log."""
+    records = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,224 @@
+"""Span-based tracing: nested wall-clock spans with tree and Chrome export.
+
+``trace("train.epoch")`` works both as a context manager and as a
+decorator.  Spans nest via a per-thread stack, survive exceptions (the
+span is closed, flagged with the error, and the exception propagates), and
+finished root spans accumulate on the process-global :class:`Tracer` until
+:func:`reset_tracer`.
+
+Exports:
+
+- :meth:`Tracer.format_tree` — indented text tree with durations;
+- :meth:`Tracer.to_chrome_trace` — ``trace_event`` records loadable in
+  ``chrome://tracing`` / Perfetto (``json.dump`` the returned list).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "trace", "get_tracer", "reset_tracer"]
+
+
+class Span:
+    """One timed region; children are spans opened while it was active."""
+
+    __slots__ = (
+        "name",
+        "start_s",
+        "end_s",
+        "wall_start",
+        "children",
+        "error",
+        "thread_id",
+        "is_root",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start_s = time.perf_counter()
+        self.wall_start = time.time()
+        self.end_s: float | None = None
+        self.children: list[Span] = []
+        self.error: str | None = None
+        self.thread_id = threading.get_ident()
+        self.is_root = False
+
+    def finish(self, error: str | None = None) -> None:
+        if self.end_s is None:
+            self.end_s = time.perf_counter()
+            self.error = error
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    @property
+    def duration_ms(self) -> float:
+        return 1000.0 * self.duration_s
+
+    def walk(self, depth: int = 0, path: str = ""):
+        """Yield ``(span, depth, path)`` depth-first; path joins names with '/'."""
+        path = f"{path}/{self.name}" if path else self.name
+        yield self, depth, path
+        for child in self.children:
+            yield from child.walk(depth + 1, path)
+
+    def __repr__(self) -> str:
+        status = " !error" if self.error else ""
+        return f"Span({self.name!r}, {self.duration_ms:.2f}ms{status})"
+
+
+class Tracer:
+    """Collects finished span trees; one global instance via :func:`get_tracer`.
+
+    ``max_roots`` bounds retained memory on long-lived processes: once the
+    limit is hit, new root spans are still timed but dropped on finish (a
+    counter tracks how many).
+    """
+
+    def __init__(self, max_roots: int = 10_000) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+        self.max_roots = max_roots
+        self.dropped_roots = 0
+
+    # -- span stack ----------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def push(self, name: str) -> Span:
+        span = Span(name)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            span.is_root = True
+        stack.append(span)
+        return span
+
+    def pop(self, span: Span, error: str | None = None) -> None:
+        span.finish(error)
+        stack = self._stack()
+        # Unwind to (and including) this span; spans abandoned by a
+        # mismatched exit are closed so durations stay meaningful.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+            top.finish("unwound")
+        if span.is_root:
+            self._record_root(span)
+
+    def _record_root(self, span: Span) -> None:
+        with self._lock:
+            if len(self.roots) >= self.max_roots:
+                self.dropped_roots += 1
+            else:
+                self.roots.append(span)
+
+    # -- exports -------------------------------------------------------
+    def walk(self):
+        """Yield ``(span, depth, path)`` over every finished root tree."""
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            yield from root.walk()
+
+    def format_tree(self) -> str:
+        lines = []
+        for span, depth, _ in self.walk():
+            error = "  [error]" if span.error else ""
+            lines.append(
+                f"{'  ' * depth}{span.name}  {span.duration_ms:.2f} ms{error}"
+            )
+        return "\n".join(lines)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Complete-event (``ph == "X"``) records in chrome tracing format."""
+        events = []
+        for span, _, _ in self.walk():
+            offset_s = span.start_s
+            break
+        else:
+            return []
+        for span, _, _ in self.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": (span.start_s - offset_s) * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "pid": 0,
+                    "tid": span.thread_id,
+                    "args": {"error": span.error} if span.error else {},
+                }
+            )
+        return events
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots.clear()
+            self.dropped_roots = 0
+        self._local = threading.local()
+
+
+class _TraceHandle:
+    """Context manager *and* decorator returned by :func:`trace`."""
+
+    __slots__ = ("name", "tracer", "_span")
+
+    def __init__(self, name: str, tracer: Tracer | None = None) -> None:
+        self.name = name
+        self.tracer = tracer
+        self._span: Span | None = None
+
+    def _resolve(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def __enter__(self) -> Span:
+        self._span = self._resolve().push(self.name)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        error = None if exc_type is None else f"{exc_type.__name__}: {exc}"
+        self._resolve().pop(self._span, error)
+        self._span = None
+        return False  # propagate exceptions
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _TraceHandle(self.name, self.tracer):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def trace(name: str, tracer: Tracer | None = None) -> _TraceHandle:
+    """Open a named span: ``with trace("x"): ...`` or ``@trace("x")``."""
+    return _TraceHandle(name, tracer)
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """Return the process-global tracer used by built-in instrumentation."""
+    return _GLOBAL_TRACER
+
+
+def reset_tracer() -> None:
+    """Drop all recorded spans on the process-global tracer."""
+    _GLOBAL_TRACER.reset()

@@ -9,12 +9,16 @@ PD-GAN) override :meth:`Reranker.rerank` directly.
 
 from __future__ import annotations
 
+import functools
+import threading
+import time
 from typing import Sequence
 
 import numpy as np
 
 from ..data.batching import RerankBatch
 from ..data.schema import Catalog, Population, RankingRequest
+from ..obs import get_registry
 
 __all__ = ["Reranker", "identity_permutation"]
 
@@ -24,11 +28,50 @@ def identity_permutation(batch: RerankBatch) -> np.ndarray:
     return np.tile(np.arange(batch.list_length), (batch.batch_size, 1))
 
 
+_timing_state = threading.local()
+
+
+def _timed_rerank(fn):
+    """Record ``rerank`` wall time into ``rerank.latency_ms{reranker=...}``.
+
+    Applied to the base implementation and, via ``__init_subclass__``, to
+    every override — so all baselines are measured uniformly regardless of
+    whether they score-and-sort or build lists greedily.  A per-thread
+    depth guard keeps overrides that delegate to ``super().rerank`` from
+    double-counting: only the outermost call is observed.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, batch: RerankBatch) -> np.ndarray:
+        depth = getattr(_timing_state, "depth", 0)
+        _timing_state.depth = depth + 1
+        start = time.perf_counter()
+        try:
+            return fn(self, batch)
+        finally:
+            elapsed_ms = 1000.0 * (time.perf_counter() - start)
+            _timing_state.depth = depth
+            if depth == 0:
+                name = getattr(self, "name", None) or type(self).__name__
+                get_registry().histogram(
+                    "rerank.latency_ms", reranker=name
+                ).observe(elapsed_ms)
+
+    wrapper._obs_timed = True
+    return wrapper
+
+
 class Reranker:
     """Base class; subclasses set ``name`` and implement scoring/reranking."""
 
     name = "base"
     requires_training = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        override = cls.__dict__.get("rerank")
+        if override is not None and not getattr(override, "_obs_timed", False):
+            cls.rerank = _timed_rerank(override)
 
     def fit(
         self,
@@ -54,3 +97,6 @@ class Reranker:
         scores = np.array(self.score_batch(batch), dtype=np.float64, copy=True)
         scores[~batch.mask] = -np.inf
         return np.argsort(-scores, axis=1, kind="stable")
+
+
+Reranker.rerank = _timed_rerank(Reranker.rerank)

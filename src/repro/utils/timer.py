@@ -1,42 +1,73 @@
-"""Wall-clock timing utilities used by the efficiency study (Table VI)."""
+"""Wall-clock timing utilities used by the efficiency study (Table VI).
+
+Both classes are thin shims over ``repro.obs``: new code should record
+straight into the metrics registry (``get_registry().histogram(...)``) or
+open spans with ``repro.obs.trace``; :class:`Timings` remains for the
+pre-observability call sites (``train_rapid(..., timings=...)`` and the
+neural baselines) and is now backed by an observability
+:class:`~repro.obs.metrics.Histogram`, which is where ``p95`` comes from.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+
+from ..obs.metrics import Histogram
 
 __all__ = ["Stopwatch", "Timings"]
 
 
 class Stopwatch:
-    """Context manager measuring elapsed wall-clock seconds."""
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Re-entrant: instances can be reused sequentially and nested —
+    each ``with`` level times its own region, and ``elapsed`` always holds
+    the most recently exited level's duration.
+    """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
+        self._starts: list[float] = []
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        if not self._starts:
+            raise RuntimeError("Stopwatch.__exit__ without matching __enter__")
+        self.elapsed = time.perf_counter() - self._starts.pop()
 
 
-@dataclass
 class Timings:
-    """Accumulates per-batch timings; reports mean milliseconds."""
+    """Accumulates per-batch timings (seconds in, milliseconds out).
 
-    samples: list[float] = field(default_factory=list)
+    Thin shim over an observability histogram; pass ``histogram`` to share
+    a registry-backed series, e.g.
+    ``Timings(get_registry().histogram("train.batch_ms"))`` — note shared
+    histograms store milliseconds, which is also what :meth:`add` records.
+    """
+
+    def __init__(self, histogram: Histogram | None = None) -> None:
+        self._hist = histogram if histogram is not None else Histogram("timings")
 
     def add(self, seconds: float) -> None:
-        self.samples.append(seconds)
+        self._hist.observe(1000.0 * seconds)
+
+    @property
+    def samples(self) -> list[float]:
+        """Observed durations in seconds (pre-shim API)."""
+        return [ms / 1000.0 for ms in self._hist._sorted]
 
     @property
     def total_seconds(self) -> float:
-        return sum(self.samples)
+        return self._hist.sum / 1000.0
 
     @property
     def mean_ms(self) -> float:
-        if not self.samples:
-            return 0.0
-        return 1000.0 * sum(self.samples) / len(self.samples)
+        return self._hist.mean
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile duration in milliseconds (matches ``mean_ms``)."""
+        return self._hist.p95

@@ -1,0 +1,148 @@
+"""Tests for the metrics registry: quantiles, labels, cardinality, reset."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, reset_registry
+from repro.obs.metrics import Histogram
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("events").inc(-1)
+
+    def test_thread_safety_exact_total(self):
+        counter = MetricsRegistry().counter("events")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        gauge = MetricsRegistry().gauge("loss")
+        gauge.set(0.5)
+        assert gauge.value == 0.5
+        gauge.inc(0.25)
+        gauge.dec(0.5)
+        assert gauge.value == pytest.approx(0.25)
+
+
+class TestHistogram:
+    def test_quantiles_uniform(self):
+        hist = Histogram("t")
+        for v in range(101):  # 0..100
+            hist.observe(v)
+        assert hist.p50 == pytest.approx(50.0)
+        assert hist.p95 == pytest.approx(95.0)
+        assert hist.p99 == pytest.approx(99.0)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_quantile_interpolates(self):
+        hist = Histogram("t")
+        hist.observe(0.0)
+        hist.observe(10.0)
+        assert hist.p50 == pytest.approx(5.0)
+
+    def test_mean_count_sum(self):
+        hist = Histogram("t")
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(4.0)
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_empty(self):
+        hist = Histogram("t")
+        assert hist.p95 == 0.0
+        assert hist.mean == 0.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("t").quantile(1.5)
+
+    def test_max_samples_downsamples_but_keeps_exact_count(self):
+        import random
+
+        hist = Histogram("t", max_samples=64)
+        values = list(range(1000))
+        random.Random(0).shuffle(values)
+        for v in values:
+            hist.observe(float(v))
+        assert hist.count == 1000
+        assert hist.sum == pytest.approx(sum(range(1000)))
+        assert len(hist._sorted) <= 64
+        # Quantiles stay approximately right after reservoir halving
+        # (every-other decimation of the sorted list is quantile-neutral
+        # for randomly ordered arrivals; monotone arrivals skew recent).
+        assert hist.p50 == pytest.approx(500.0, rel=0.25)
+
+
+class TestRegistry:
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", op="add")
+        b = registry.counter("ops", op="mul")
+        a.inc()
+        assert a is not b
+        assert b.value == 0
+        # Same labels (any order) return the cached series.
+        assert registry.counter("ops", op="add") is a
+
+    def test_label_cardinality_guard(self):
+        registry = MetricsRegistry(max_series_per_metric=5)
+        for i in range(5):
+            registry.counter("unbounded", request=i)
+        with pytest.raises(ValueError, match="max_series_per_metric"):
+            registry.counter("unbounded", request=999)
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_collect_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g", model="rapid").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snapshot = {s["name"]: s for s in registry.collect()}
+        assert snapshot["c"]["value"] == 2
+        assert snapshot["g"]["labels"] == {"model": "rapid"}
+        assert snapshot["h"]["count"] == 1
+        assert snapshot["h"]["p95"] == pytest.approx(3.0)
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("c").value == 0
+
+    def test_global_registry_roundtrip(self):
+        reset_registry()
+        get_registry().counter("test.global").inc()
+        assert get_registry().counter("test.global").value == 1
+        reset_registry()
+        assert get_registry().counter("test.global").value == 0

@@ -1,0 +1,51 @@
+"""Smoke-test wiring for ``benchmarks/bench_obs_overhead.py``.
+
+Runs the microbenchmark's machinery at reduced scale and checks structure
+only — no wall-clock assertions, so the suite stays deterministic on busy
+machines.  The real <5% overhead gate runs via
+``python benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_BENCH_PATH = (
+    Path(__file__).resolve().parents[1] / "benchmarks" / "bench_obs_overhead.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_obs_overhead", _BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_instrumentation_cost_is_measurable(bench):
+    cost = bench.instrumentation_cost_per_batch(iterations=2000)
+    assert np.isfinite(cost)
+    assert 0.0 < cost < 1.0  # sane per-batch seconds, not a timing gate
+
+
+def test_measure_reports_structure(bench):
+    result = bench.measure(iterations=2000)
+    assert set(result) == {
+        "obs_us_per_batch",
+        "train_ms_per_batch",
+        "overhead_fraction",
+    }
+    assert result["train_ms_per_batch"] > 0.0
+    assert result["overhead_fraction"] >= 0.0
+    assert np.isfinite(result["overhead_fraction"])
+
+
+def test_budget_constant_is_five_percent(bench):
+    assert bench.MAX_DISABLED_OVERHEAD == pytest.approx(0.05)

@@ -1,0 +1,138 @@
+"""Tests for span tracing: nesting, exception safety, exports, decorator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, trace
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, tracer):
+        with trace("outer", tracer):
+            with trace("inner", tracer):
+                pass
+            with trace("inner2", tracer):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        assert root.children == sorted(
+            root.children, key=lambda s: s.start_s
+        )
+
+    def test_sequential_roots(self, tracer):
+        with trace("a", tracer):
+            pass
+        with trace("b", tracer):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_durations_nest(self, tracer):
+        with trace("outer", tracer):
+            with trace("inner", tracer):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_walk_paths(self, tracer):
+        with trace("a", tracer):
+            with trace("b", tracer):
+                pass
+        paths = [path for _, _, path in tracer.walk()]
+        assert paths == ["a", "a/b"]
+
+
+class TestExceptionSafety:
+    def test_span_closed_and_flagged_on_error(self, tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with trace("risky", tracer):
+                raise RuntimeError("boom")
+        root = tracer.roots[0]
+        assert root.end_s is not None
+        assert "RuntimeError" in root.error
+
+    def test_stack_unwinds_after_error(self, tracer):
+        with pytest.raises(ValueError):
+            with trace("outer", tracer):
+                with trace("inner", tracer):
+                    raise ValueError("x")
+        # A fresh span after the failure is a new root, not a child.
+        with trace("after", tracer):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+        assert tracer.current() is None
+
+
+class TestDecorator:
+    def test_decorated_function_recorded(self, tracer):
+        @trace("compute", tracer)
+        def compute(x):
+            return x * 2
+
+        assert compute(21) == 42
+        assert compute(1) == 2
+        assert [r.name for r in tracer.roots] == ["compute", "compute"]
+
+
+class TestExports:
+    def test_format_tree(self, tracer):
+        with trace("outer", tracer):
+            with trace("inner", tracer):
+                pass
+        tree = tracer.format_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "ms" in lines[0]
+
+    def test_chrome_trace_schema(self, tracer):
+        with trace("outer", tracer):
+            with trace("inner", tracer):
+                pass
+        events = tracer.to_chrome_trace()
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["tid"], int)
+        names = {e["name"] for e in events}
+        assert names == {"outer", "inner"}
+        # Must round-trip through JSON (chrome://tracing loads a file).
+        json.loads(json.dumps(events))
+
+    def test_chrome_trace_empty(self, tracer):
+        assert tracer.to_chrome_trace() == []
+
+    def test_error_lands_in_chrome_args(self, tracer):
+        with pytest.raises(RuntimeError):
+            with trace("bad", tracer):
+                raise RuntimeError("boom")
+        (event,) = tracer.to_chrome_trace()
+        assert "boom" in event["args"]["error"]
+
+
+class TestLimitsAndReset:
+    def test_max_roots_drops_and_counts(self):
+        tracer = Tracer(max_roots=2)
+        for i in range(4):
+            with trace(f"s{i}", tracer):
+                pass
+        assert len(tracer.roots) == 2
+        assert tracer.dropped_roots == 2
+
+    def test_reset(self, tracer):
+        with trace("a", tracer):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.dropped_roots == 0

@@ -44,15 +44,46 @@ class TestTimer:
             time.sleep(0.01)
         assert watch.elapsed >= 0.01
 
+    def test_stopwatch_reuse_is_clean(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.elapsed
+        with watch:
+            pass
+        assert watch.elapsed < first  # no stale _start leaking across uses
+
+    def test_stopwatch_nested_reentry(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+            with watch:
+                pass
+            inner = watch.elapsed
+        assert watch.elapsed >= 0.01 > inner
+
+    def test_stopwatch_exit_without_enter(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().__exit__(None, None, None)
+
     def test_timings_statistics(self):
         timings = Timings()
         timings.add(0.010)
         timings.add(0.030)
         assert timings.total_seconds == pytest.approx(0.04)
         assert timings.mean_ms == pytest.approx(20.0)
+        assert timings.samples == pytest.approx([0.010, 0.030])
+
+    def test_timings_p95(self):
+        timings = Timings()
+        for ms in range(101):  # 0..100 ms
+            timings.add(ms / 1000.0)
+        assert timings.p95 == pytest.approx(95.0)
+        assert timings.p95 >= timings.mean_ms
 
     def test_empty_timings(self):
         assert Timings().mean_ms == 0.0
+        assert Timings().p95 == 0.0
 
 
 class TestValidation:
