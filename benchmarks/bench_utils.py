@@ -8,6 +8,7 @@ capture.  Set ``REPRO_BENCH_PROFILE=full`` for the larger profile.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from contextlib import contextmanager
@@ -18,6 +19,8 @@ from repro.eval import ExperimentConfig
 from repro.obs import get_registry
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRAJECTORY_PATH = RESULTS_DIR / "trajectory.jsonl"
 
 PROFILES = {
     "quick": dict(
@@ -87,6 +90,51 @@ def publish(name: str, text: str) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_benchmark(tag: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark record and extend the trajectory.
+
+    Writes ``BENCH_<tag>.json`` at the repo root (the per-PR snapshot) and
+    upserts the same record into ``benchmarks/results/trajectory.jsonl``
+    keyed by ``tag`` — re-running a benchmark replaces its own line while
+    records from other PRs are preserved, so the perf trajectory
+    accumulates across PRs instead of being overwritten.
+    """
+    record = {"tag": tag, **payload}
+    snapshot = REPO_ROOT / f"BENCH_{tag}.json"
+    snapshot.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    append_trajectory(record)
+    return snapshot
+
+
+def append_trajectory(record: dict) -> None:
+    """Upsert ``record`` (keyed by its ``tag``) into the trajectory JSONL."""
+    tag = record.get("tag")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    rows: list[dict] = []
+    if TRAJECTORY_PATH.exists():
+        for line in TRAJECTORY_PATH.read_text().splitlines():
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            if row.get("tag") != tag:
+                rows.append(row)
+    rows.append(record)
+    TRAJECTORY_PATH.write_text(
+        "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+    )
+
+
+def read_trajectory() -> list[dict]:
+    """All benchmark records accumulated so far (empty if none yet)."""
+    if not TRAJECTORY_PATH.exists():
+        return []
+    return [
+        json.loads(line)
+        for line in TRAJECTORY_PATH.read_text().splitlines()
+        if line.strip()
+    ]
 
 
 def bench_histogram(stage: str, **labels):

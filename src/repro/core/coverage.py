@@ -138,12 +138,15 @@ def incremental_gain(coverage: np.ndarray, kind: str = "probabilistic") -> np.nd
     if kind == "probabilistic":
         return incremental_coverage(coverage)
     coverage = np.asarray(coverage, dtype=np.float64)
-    function = _COVERAGE_FUNCTIONS[kind]
-    length = coverage.shape[-2]
-    gains = np.empty_like(coverage)
-    previous = np.zeros(coverage.shape[:-2] + coverage.shape[-1:])
-    for position in range(length):
-        current = function(coverage[..., : position + 1, :])
-        gains[..., position, :] = current - previous
-        previous = current
+    # Both alternatives are concave functions of the running coverage sum,
+    # so all prefix values come from one cumulative sum — no per-position
+    # re-evaluation of the coverage function over growing prefixes.
+    cumulative = np.cumsum(coverage, axis=-2)
+    if kind == "saturating":
+        totals = 1.0 - np.exp(-cumulative)
+    else:  # log
+        totals = np.log1p(cumulative)
+    gains = np.empty_like(totals)
+    gains[..., :1, :] = totals[..., :1, :]
+    gains[..., 1:, :] = totals[..., 1:, :] - totals[..., :-1, :]
     return gains

@@ -94,9 +94,10 @@ class PersonalizedDiversityEstimator(nn.Module):
     def preference_distribution(self, batch: RerankBatch) -> Tensor:
         """theta_hat (B, m): the user's learned topic preference distribution."""
         b, m, d, _ = batch.topic_history_features.shape
-        user = np.repeat(
-            np.repeat(batch.user_features[:, None, None, :], m, axis=1), d, axis=2
-        )
+        user = np.broadcast_to(
+            batch.user_features[:, None, None, :],
+            (b, m, d, batch.user_features.shape[-1]),
+        )  # view, not a copy — concatenate below materializes once
         sequences = Tensor(
             np.concatenate([user, batch.topic_history_features], axis=3)
         )

@@ -148,30 +148,37 @@ class RapidModel(nn.Module):
 
         batch_size, length, _ = relevance.shape
         m = self.config.num_topics
+        # All rows advance in lockstep: at step k every still-active row
+        # holds k chosen items, so one batched head evaluation per position
+        # replaces the per-row per-step Python loop.  The head scores each
+        # item independently, so scoring the full (B, L) list and masking
+        # out unavailable items reproduces the per-row remaining-set scores
+        # exactly (ties break toward the lowest index in both versions).
         permutations = np.empty((batch_size, length), dtype=np.int64)
+        available = batch.mask.copy()
+        prefix_complement = np.ones((batch_size, m))
+        valid_counts = available.sum(axis=1)
+        for position in range(length):
+            active = available.any(axis=1)
+            if not active.any():
+                break
+            delta = (
+                batch.coverage
+                * prefix_complement[:, None, :]
+                * theta[:, None, :]
+            )
+            features = Tensor(np.concatenate([relevance, delta], axis=2))
+            with nn.no_grad():
+                scores = self.head.inference_scores(features).numpy()
+            scores = np.where(available, scores, -np.inf)
+            picks = scores.argmax(axis=1)
+            rows = np.flatnonzero(active)
+            permutations[rows, position] = picks[rows]
+            available[rows, picks[rows]] = False
+            prefix_complement[rows] *= 1.0 - batch.coverage[rows, picks[rows]]
         for row in range(batch_size):
-            valid = np.flatnonzero(batch.mask[row])
-            prefix_complement = np.ones(m)
-            chosen: list[int] = []
-            remaining = list(valid)
-            while remaining:
-                gains = batch.coverage[row, remaining] * prefix_complement
-                delta = gains * theta[row]
-                features = Tensor(
-                    np.concatenate(
-                        [relevance[row, remaining], delta], axis=1
-                    )[None, :, :]
-                )
-                with nn.no_grad():
-                    scores = self.head.inference_scores(features).numpy()[0]
-                pick = remaining[int(np.argmax(scores))]
-                chosen.append(pick)
-                remaining.remove(pick)
-                prefix_complement = prefix_complement * (
-                    1.0 - batch.coverage[row, pick]
-                )
             invalid = np.flatnonzero(~batch.mask[row])
-            permutations[row] = np.concatenate([chosen, invalid])
+            permutations[row, valid_counts[row] :] = invalid
         return permutations
 
 

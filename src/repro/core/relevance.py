@@ -64,10 +64,12 @@ class ListwiseRelevanceEstimator(nn.Module):
 
     def forward(self, batch: RerankBatch) -> Tensor:
         """Return (B, L, 2*hidden) listwise relevance representations."""
+        user = np.broadcast_to(
+            batch.user_features[:, None, :],
+            (batch.batch_size, batch.list_length, batch.user_features.shape[-1]),
+        )  # view, not a copy — concatenate below materializes once
         parts = [
-            np.repeat(
-                batch.user_features[:, None, :], batch.list_length, axis=1
-            ),
+            user,
             batch.item_features,
             batch.coverage,
         ]

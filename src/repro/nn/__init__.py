@@ -7,7 +7,7 @@ LSTM/GRU/Bi-LSTM, self-attention variants, MLP, LayerNorm, Dropout), losses,
 and optimizers (Adam, SGD).
 """
 
-from . import functional, init, losses
+from . import functional, init, kernels, losses
 from .layers import (
     MLP,
     BiLSTM,
@@ -61,6 +61,7 @@ __all__ = [
     "functional",
     "init",
     "is_grad_enabled",
+    "kernels",
     "load_module",
     "losses",
     "no_grad",

@@ -1,0 +1,537 @@
+"""Fused recurrent kernels: single-node LSTM/GRU steps with analytic backward.
+
+The composed-op recurrent cells in ``repro.nn.layers.recurrent`` build ~10
+tiny autograd nodes per timestep (four gate slices, three sigmoids, a tanh,
+and the elementwise state update), each carrying a Python closure and a
+full-array allocation in backward.  The kernels here collapse one whole
+timestep into a single graph node per output: the forward runs the gate
+nonlinearities and state update in vectorized numpy, caches exactly the
+activations the backward needs, and the backward applies the closed-form
+gradient of the full step in one shot.  See DESIGN.md ("Fused recurrent
+kernels") for the equivalence argument.
+
+Both kernels fold the padding mask into the step: where ``mask_t`` is
+``False`` the previous state is carried through unchanged and the incoming
+gradient is routed straight to the previous state, matching the composed
+``new * keep + old * (1 - keep)`` formulation bit for bit (the mask is 0/1
+so the blend is exact).
+
+The fused path is on by default; set the environment variable
+``REPRO_NN_FUSED=0`` (or call :func:`set_fused`) to fall back to the
+composed-op graph — both paths produce bitwise-identical forward values and
+gradients that agree to ~1e-12 (they differ only in floating-point
+summation order inside backward).
+
+The ops are registered on :class:`Tensor` via
+:func:`repro.nn.tensor.register_custom_op` so the opt-in op profiler
+(``repro.obs.autograd``) attributes their forward and backward time under
+``lstm_cell_fused`` / ``gru_cell_fused``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, register_custom_op
+
+__all__ = [
+    "lstm_cell_fused",
+    "gru_cell_fused",
+    "lstm_scan_fused",
+    "gru_scan_fused",
+    "time_unbind",
+    "fused_enabled",
+    "set_fused",
+    "use_fused",
+    "zero_state",
+]
+
+# ----------------------------------------------------------------------
+# Escape hatch: REPRO_NN_FUSED=0 (env) or set_fused(False) (module flag)
+# falls back to the composed-op graph everywhere the layers dispatch.
+# ----------------------------------------------------------------------
+
+_FUSED_OVERRIDE: bool | None = None
+
+
+def fused_enabled() -> bool:
+    """Whether recurrent layers should use the fused kernels."""
+    if _FUSED_OVERRIDE is not None:
+        return _FUSED_OVERRIDE
+    return os.environ.get("REPRO_NN_FUSED", "1").lower() not in ("0", "false", "no")
+
+
+def set_fused(value: bool | None) -> None:
+    """Force the fused path on/off; ``None`` restores env-var control."""
+    global _FUSED_OVERRIDE
+    _FUSED_OVERRIDE = value
+
+
+@contextmanager
+def use_fused(value: bool):
+    """Temporarily force the fused (or composed) path within a block."""
+    previous = _FUSED_OVERRIDE
+    set_fused(value)
+    try:
+        yield
+    finally:
+        set_fused(previous)
+
+
+# ----------------------------------------------------------------------
+# Cached zero initial states.  Every sequence (and bare cell call with
+# ``state=None``) used to allocate two fresh (batch, hidden) zero tensors;
+# the state is only ever *read* (the recurrence writes to new tensors), so
+# a per-shape cache of read-only constants is safe to share.
+# ----------------------------------------------------------------------
+
+_ZERO_STATE_CACHE: dict[tuple[int, ...], Tensor] = {}
+
+
+def zero_state(*shape: int) -> Tensor:
+    """A cached, read-only all-zeros constant tensor of ``shape``."""
+    cached = _ZERO_STATE_CACHE.get(shape)
+    if cached is None:
+        data = np.zeros(shape)
+        data.flags.writeable = False
+        cached = _ZERO_STATE_CACHE[shape] = Tensor(data)
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Shared numerics.  _sigmoid mirrors Tensor.sigmoid exactly (same single
+# exp and blend) so fused and composed forwards are bitwise equal.
+# ----------------------------------------------------------------------
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    decay = np.abs(x)
+    np.negative(decay, out=decay)
+    np.exp(decay, out=decay)
+    numerator = np.where(x >= 0, 1.0, decay)
+    np.add(decay, 1.0, out=decay)
+    np.divide(numerator, decay, out=numerator)
+    return numerator
+
+
+def _keep_column(mask_t) -> np.ndarray | None:
+    """(B, 1) float 0/1 column for a (B,) step mask, or None."""
+    if mask_t is None:
+        return None
+    return np.asarray(mask_t, dtype=np.float64)[:, None]
+
+
+# ----------------------------------------------------------------------
+# Fused LSTM step
+# ----------------------------------------------------------------------
+
+
+def lstm_cell_fused(
+    gates: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    mask_t: np.ndarray | None = None,
+) -> tuple[Tensor, Tensor]:
+    """One LSTM timestep as a fused autograd node pair.
+
+    Parameters
+    ----------
+    gates:
+        (B, 4H) pre-activation gate matrix ``x W_ih^T + h W_hh^T + b``,
+        packed ``[input, forget, cell, output]`` along the last axis.
+    h_prev, c_prev:
+        (B, H) previous hidden and cell state.
+    mask_t:
+        Optional (B,) validity mask; padded rows carry the previous state.
+
+    Returns
+    -------
+    ``(h_t, c_t)`` — two output tensors sharing the cached activations;
+    their backward closures each scatter the closed-form step gradient into
+    ``gates``/``h_prev``/``c_prev`` (gradients from both outputs add, which
+    is exactly the chain rule for the two uses of the shared internals).
+    """
+    gates = as_tensor(gates)
+    h_prev = as_tensor(h_prev)
+    c_prev = as_tensor(c_prev)
+    z = gates.data
+    hs = z.shape[-1] // 4
+    # One sigmoid pass over the three sigmoid gates (i, f, o packed into a
+    # contiguous scratch block) instead of three separate ufunc chains.
+    act = _sigmoid(np.concatenate((z[:, : 2 * hs], z[:, 3 * hs :]), axis=1))
+    i = act[:, :hs]
+    f = act[:, hs : 2 * hs]
+    o = act[:, 2 * hs :]
+    g = np.tanh(z[:, 2 * hs : 3 * hs])
+    c_new = f * c_prev.data + i * g
+    tanh_c = np.tanh(c_new)
+    h_new = o * tanh_c
+
+    keep = _keep_column(mask_t)
+    if keep is None:
+        h_out, c_out = h_new, c_new
+    else:
+        h_out = h_new * keep + h_prev.data * (1.0 - keep)
+        c_out = c_new * keep + c_prev.data * (1.0 - keep)
+    parents = (gates, h_prev, c_prev)
+
+    # The local gate derivatives are identical for both output closures, so
+    # compute them once on first use and share: a (B, 4H) matrix K whose
+    # i/f/g slots hold d c_new / d z_gate and whose o slot holds
+    # d h_new / d z_o.
+    shared: dict[str, np.ndarray] = {}
+
+    def _factors() -> np.ndarray:
+        factors = shared.get("K")
+        if factors is None:
+            factors = np.empty_like(z)
+            np.multiply(i * (1.0 - i), g, out=factors[:, :hs])
+            np.multiply(f * (1.0 - f), c_prev.data, out=factors[:, hs : 2 * hs])
+            np.multiply(1.0 - g * g, i, out=factors[:, 2 * hs : 3 * hs])
+            np.multiply(o * (1.0 - o), tanh_c, out=factors[:, 3 * hs :])
+            shared["K"] = factors
+        return factors
+
+    def backward_h(grad: np.ndarray) -> None:
+        if keep is not None:
+            h_prev._accumulate_owned(grad * (1.0 - keep))
+            grad = grad * keep
+        factors = _factors()
+        dc = grad * o
+        dc *= 1.0 - tanh_c * tanh_c
+        dgates = np.empty_like(z)
+        np.multiply(factors[:, :hs], dc, out=dgates[:, :hs])
+        np.multiply(factors[:, hs : 2 * hs], dc, out=dgates[:, hs : 2 * hs])
+        np.multiply(factors[:, 2 * hs : 3 * hs], dc, out=dgates[:, 2 * hs : 3 * hs])
+        np.multiply(factors[:, 3 * hs :], grad, out=dgates[:, 3 * hs :])
+        gates._accumulate_owned(dgates)
+        dc *= f
+        c_prev._accumulate_owned(dc)
+
+    def backward_c(grad: np.ndarray) -> None:
+        if keep is not None:
+            c_prev._accumulate_owned(grad * (1.0 - keep))
+            grad = grad * keep
+        factors = _factors()
+        dgates = np.empty_like(z)
+        np.multiply(factors[:, :hs], grad, out=dgates[:, :hs])
+        np.multiply(factors[:, hs : 2 * hs], grad, out=dgates[:, hs : 2 * hs])
+        np.multiply(factors[:, 2 * hs : 3 * hs], grad, out=dgates[:, 2 * hs : 3 * hs])
+        dgates[:, 3 * hs :] = 0.0
+        gates._accumulate_owned(dgates)
+        c_prev._accumulate_owned(grad * f)
+
+    return (
+        Tensor._make(h_out, parents, backward_h),
+        Tensor._make(c_out, parents, backward_c),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused GRU step
+# ----------------------------------------------------------------------
+
+
+def gru_cell_fused(
+    gi: Tensor,
+    gh: Tensor,
+    h_prev: Tensor,
+    mask_t: np.ndarray | None = None,
+) -> Tensor:
+    """One GRU timestep as a single fused autograd node.
+
+    Parameters
+    ----------
+    gi:
+        (B, 3H) input pre-activations ``x W_ih^T + b``, packed
+        ``[reset, update, new]``.
+    gh:
+        (B, 3H) recurrent pre-activations ``h_prev W_hh^T`` (kept separate
+        because the candidate gate applies the reset gate to its recurrent
+        half: ``n = tanh(gi_n + r * gh_n)``).
+    h_prev:
+        (B, H) previous hidden state.
+    mask_t:
+        Optional (B,) validity mask; padded rows carry the previous state.
+    """
+    gi = as_tensor(gi)
+    gh = as_tensor(gh)
+    h_prev = as_tensor(h_prev)
+    a, b = gi.data, gh.data
+    hs = a.shape[-1] // 3
+    # One sigmoid pass over both sigmoid gates (r, u share a contiguous
+    # pre-activation block) instead of two separate ufunc chains.
+    ru = _sigmoid(a[:, : 2 * hs] + b[:, : 2 * hs])
+    r = ru[:, :hs]
+    u = ru[:, hs:]
+    gh_n = b[:, 2 * hs :]
+    n = np.tanh(a[:, 2 * hs :] + r * gh_n)
+    h_new = (1.0 - u) * n + u * h_prev.data
+
+    keep = _keep_column(mask_t)
+    h_out = h_new if keep is None else h_new * keep + h_prev.data * (1.0 - keep)
+
+    def backward(grad: np.ndarray) -> None:
+        if keep is not None:
+            h_prev._accumulate_owned(grad * (1.0 - keep))
+            grad = grad * keep
+        dpre_n = grad * (1.0 - u)
+        dpre_n *= 1.0 - n * n
+        du = grad * (h_prev.data - n)
+        du *= u
+        du *= 1.0 - u
+        dr = dpre_n * gh_n
+        dr *= r
+        dr *= 1.0 - r
+        dgi = np.empty_like(a)
+        dgi[:, :hs] = dr
+        dgi[:, hs : 2 * hs] = du
+        dgi[:, 2 * hs :] = dpre_n
+        dgh = np.empty_like(a)
+        dgh[:, :hs] = dr
+        dgh[:, hs : 2 * hs] = du
+        np.multiply(dpre_n, r, out=dgh[:, 2 * hs :])
+        gi._accumulate_owned(dgi)
+        gh._accumulate_owned(dgh)
+        h_prev._accumulate_owned(grad * u)
+
+    return Tensor._make(h_out, (gi, gh, h_prev), backward)
+
+
+# ----------------------------------------------------------------------
+# Fused sequence scans: the whole time loop as ONE autograd node.
+#
+# Even with fused cells, a T-step scan builds ~5 graph nodes per timestep
+# (input slice, recurrent matmul, add, cell, stack) and the engine copies
+# every first gradient it accumulates.  The scan kernels run the entire
+# recurrence — including the recurrent matmul — in plain numpy, cache the
+# per-step activations, and replay the closed-form BPTT loop in one
+# backward closure.  Initial state is zero, which is what the sequence
+# wrappers always use.
+# ----------------------------------------------------------------------
+
+
+def lstm_scan_fused(
+    gi: Tensor,
+    w_hh: Tensor,
+    mask: np.ndarray | None = None,
+) -> Tensor:
+    """Full LSTM scan as one fused autograd node.
+
+    Parameters
+    ----------
+    gi:
+        (B, T, 4H) input pre-activations ``x W_ih^T + b`` for every step
+        (one batched matmul, computed by the caller).
+    w_hh:
+        (4H, H) recurrent weights; the scan computes ``h W_hh^T`` itself.
+    mask:
+        Optional (B, T) validity mask; padded steps carry the previous
+        state, exactly like the per-step composed graph.
+
+    Returns
+    -------
+    (B, T, H) hidden states after every step (post-mask).  The final
+    hidden state is ``outputs[:, -1, :]`` — padded tails carry it forward.
+    """
+    gi = as_tensor(gi)
+    w_hh = as_tensor(w_hh)
+    z_all = gi.data
+    batch, time, width = z_all.shape
+    hs = width // 4
+    w = w_hh.data
+    wt = w.T
+    h = np.zeros((batch, hs))
+    c = np.zeros((batch, hs))
+    outputs = np.empty((batch, time, hs))
+    cache: list[tuple] = []
+    for t in range(time):
+        z = z_all[:, t] + h @ wt
+        act = _sigmoid(np.concatenate((z[:, : 2 * hs], z[:, 3 * hs :]), axis=1))
+        i = act[:, :hs]
+        f = act[:, hs : 2 * hs]
+        o = act[:, 2 * hs :]
+        g = np.tanh(z[:, 2 * hs : 3 * hs])
+        c_new = f * c + i * g
+        tanh_c = np.tanh(c_new)
+        h_new = o * tanh_c
+        h_prev, c_prev = h, c
+        if mask is None:
+            keep = None
+            h, c = h_new, c_new
+        else:
+            keep = np.asarray(mask[:, t], dtype=np.float64)[:, None]
+            h = h_new * keep + h_prev * (1.0 - keep)
+            c = c_new * keep + c_prev * (1.0 - keep)
+        outputs[:, t] = h
+        cache.append((act, g, tanh_c, c_prev, h_prev, keep))
+
+    def backward(grad: np.ndarray) -> None:
+        dgi = np.empty_like(z_all)
+        dw = np.zeros_like(w)
+        dh = np.zeros((batch, hs))
+        dc = np.zeros((batch, hs))
+        for t in range(time - 1, -1, -1):
+            act, g, tanh_c, c_prev, h_prev, keep = cache[t]
+            i = act[:, :hs]
+            f = act[:, hs : 2 * hs]
+            o = act[:, 2 * hs :]
+            dh_t = grad[:, t] + dh
+            dc_t = dc
+            if keep is None:
+                dh_carry = dc_carry = None
+            else:
+                dh_carry = dh_t * (1.0 - keep)
+                dh_t = dh_t * keep
+                dc_carry = dc_t * (1.0 - keep)
+                dc_t = dc_t * keep
+            dc_total = dc_t + dh_t * o * (1.0 - tanh_c * tanh_c)
+            dz = dgi[:, t]
+            np.multiply(dc_total * i * (1.0 - i), g, out=dz[:, :hs])
+            np.multiply(dc_total * f * (1.0 - f), c_prev, out=dz[:, hs : 2 * hs])
+            np.multiply(dc_total * (1.0 - g * g), i, out=dz[:, 2 * hs : 3 * hs])
+            np.multiply(dh_t * o * (1.0 - o), tanh_c, out=dz[:, 3 * hs :])
+            dh = dz @ w
+            if dh_carry is not None:
+                dh += dh_carry
+            dw += dz.T @ h_prev
+            dc = dc_total * f
+            if dc_carry is not None:
+                dc += dc_carry
+        gi._accumulate_owned(dgi)
+        w_hh._accumulate_owned(dw)
+
+    return Tensor._make(outputs, (gi, w_hh), backward)
+
+
+def gru_scan_fused(
+    gi: Tensor,
+    w_hh: Tensor,
+    mask: np.ndarray | None = None,
+) -> Tensor:
+    """Full GRU scan as one fused autograd node.
+
+    ``gi`` is (B, T, 3H) input pre-activations, ``w_hh`` is (3H, H); the
+    scan computes the recurrent pre-activations ``h W_hh^T`` per step and
+    returns (B, T, H) hidden states (post-mask, zero initial state).
+    """
+    gi = as_tensor(gi)
+    w_hh = as_tensor(w_hh)
+    a_all = gi.data
+    batch, time, width = a_all.shape
+    hs = width // 3
+    w = w_hh.data
+    wt = w.T
+    h = np.zeros((batch, hs))
+    outputs = np.empty((batch, time, hs))
+    cache: list[tuple] = []
+    for t in range(time):
+        a = a_all[:, t]
+        b = h @ wt
+        ru = _sigmoid(a[:, : 2 * hs] + b[:, : 2 * hs])
+        r = ru[:, :hs]
+        u = ru[:, hs:]
+        gh_n = b[:, 2 * hs :]
+        n = np.tanh(a[:, 2 * hs :] + r * gh_n)
+        h_prev = h
+        h_new = (1.0 - u) * n + u * h_prev
+        if mask is None:
+            keep = None
+            h = h_new
+        else:
+            keep = np.asarray(mask[:, t], dtype=np.float64)[:, None]
+            h = h_new * keep + h_prev * (1.0 - keep)
+        outputs[:, t] = h
+        cache.append((ru, n, gh_n, h_prev, keep))
+
+    def backward(grad: np.ndarray) -> None:
+        dgi = np.empty_like(a_all)
+        dw = np.zeros_like(w)
+        dh = np.zeros((batch, hs))
+        dgh = np.empty((batch, 3 * hs))
+        for t in range(time - 1, -1, -1):
+            ru, n, gh_n, h_prev, keep = cache[t]
+            r = ru[:, :hs]
+            u = ru[:, hs:]
+            dh_t = grad[:, t] + dh
+            if keep is None:
+                dh_carry = None
+            else:
+                dh_carry = dh_t * (1.0 - keep)
+                dh_t = dh_t * keep
+            dpre_n = dh_t * (1.0 - u)
+            dpre_n *= 1.0 - n * n
+            du = dh_t * (h_prev - n)
+            du *= u
+            du *= 1.0 - u
+            dr = dpre_n * gh_n
+            dr *= r
+            dr *= 1.0 - r
+            da = dgi[:, t]
+            da[:, :hs] = dr
+            da[:, hs : 2 * hs] = du
+            da[:, 2 * hs :] = dpre_n
+            dgh[:, :hs] = dr
+            dgh[:, hs : 2 * hs] = du
+            np.multiply(dpre_n, r, out=dgh[:, 2 * hs :])
+            dh = dgh @ w
+            dh += dh_t * u
+            if dh_carry is not None:
+                dh += dh_carry
+            dw += dgh.T @ h_prev
+        gi._accumulate_owned(dgi)
+        w_hh._accumulate_owned(dw)
+
+    return Tensor._make(outputs, (gi, w_hh), backward)
+
+
+# ----------------------------------------------------------------------
+# Shared-buffer time unbind
+# ----------------------------------------------------------------------
+
+
+def time_unbind(x: Tensor) -> tuple[Tensor, ...]:
+    """Split a (B, T, D) tensor into T (B, D) step tensors.
+
+    The composed equivalent — ``x[:, t, :]`` per step — allocates a
+    full-size (B, T, D) zero array in *every* step's backward and makes the
+    parent sum T of them.  Here all step gradients are written into one
+    shared (B, T, D) buffer which is handed to ``x`` exactly once, after
+    every step closure has run (the "collector" node sits between ``x`` and
+    the steps, so reverse-topological order guarantees it fires last).
+
+    Assumes the graph is backpropagated at most once per forward (true for
+    every layer in this codebase, which build a fresh graph per call).
+    """
+    x = as_tensor(x)
+    steps = x.data.shape[1]
+    if not x.requires_grad:
+        return tuple(Tensor(x.data[:, t]) for t in range(steps))
+    buffer = np.zeros_like(x.data)
+
+    def deliver(grad: np.ndarray) -> None:
+        # ``grad`` is ``buffer``; if a second backward pass already aliased
+        # it into ``x.grad``, the in-place step writes have accumulated.
+        if x.grad is not buffer:
+            x._accumulate_owned(grad)
+
+    collector = Tensor._make(x.data, (x,), deliver)
+
+    def make_step(t: int) -> Tensor:
+        def backward(grad: np.ndarray) -> None:
+            buffer[:, t] += grad
+            collector.grad = buffer
+
+        return Tensor._make(x.data[:, t], (collector,), backward)
+
+    return tuple(make_step(t) for t in range(steps))
+
+
+register_custom_op("lstm_cell_fused", lstm_cell_fused)
+register_custom_op("gru_cell_fused", gru_cell_fused)
+register_custom_op("lstm_scan_fused", lstm_scan_fused)
+register_custom_op("gru_scan_fused", gru_scan_fused)
+register_custom_op("time_unbind", time_unbind)

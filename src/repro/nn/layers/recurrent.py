@@ -4,17 +4,76 @@ RAPID uses a Bi-LSTM for the listwise relevance estimator (paper Sec. III-B)
 and unidirectional LSTMs for the per-topic behavior encoders (Sec. III-C);
 DLCM uses a GRU.  All cells follow the standard Hochreiter-Schmidhuber / Cho
 formulations with orthogonal recurrent and Xavier input weights.
+
+Hot-path structure: the input projection ``x W_ih^T + b`` for *all*
+timesteps is computed in one batched matmul outside the time loop, and each
+step then runs as a single fused autograd node (``repro.nn.kernels``)
+instead of ~10 composed elementwise ops.  Set ``REPRO_NN_FUSED=0`` to fall
+back to the composed-op graph; both paths produce identical values.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .. import init
+from .. import init, kernels
 from ..module import Module, Parameter
 from ..tensor import Tensor
 
 __all__ = ["LSTMCell", "GRUCell", "LSTM", "GRU", "BiLSTM"]
+
+
+def _apply_mask_step(
+    new: Tensor, old: Tensor, mask_t: np.ndarray | None
+) -> Tensor:
+    """Keep the previous state where ``mask_t`` marks padding (False)."""
+    if mask_t is None:
+        return new
+    keep = mask_t.astype(np.float64)[:, None]
+    return new * Tensor(keep) + old * Tensor(1.0 - keep)
+
+
+def _time_steps(gi: Tensor, time: int) -> tuple[Tensor, ...]:
+    """Per-timestep slices of the batched input projection (composed
+    fallback; the fused path hands ``gi`` whole to the scan kernels).
+
+    Custom step-by-step loops over a batched projection should prefer
+    :func:`repro.nn.kernels.time_unbind`, which shares one gradient buffer
+    across all step slices instead of scattering a full-size array each.
+    """
+    return tuple(gi[:, t, :] for t in range(time))
+
+
+def _lstm_step(
+    gates: Tensor, h: Tensor, c: Tensor, mask_t: np.ndarray | None
+) -> tuple[Tensor, Tensor]:
+    """One LSTM state update from pre-activation ``gates`` (fused or composed)."""
+    if kernels.fused_enabled():
+        return Tensor.lstm_cell_fused(gates, h, c, mask_t)
+    hs = gates.shape[-1] // 4
+    i = gates[:, :hs].sigmoid()
+    f = gates[:, hs : 2 * hs].sigmoid()
+    g = gates[:, 2 * hs : 3 * hs].tanh()
+    o = gates[:, 3 * hs :].sigmoid()
+    c_next = f * c + i * g
+    h_next = o * c_next.tanh()
+    return (
+        _apply_mask_step(h_next, h, mask_t),
+        _apply_mask_step(c_next, c, mask_t),
+    )
+
+
+def _gru_step(
+    gi: Tensor, gh: Tensor, h: Tensor, mask_t: np.ndarray | None
+) -> Tensor:
+    """One GRU state update from pre-activations ``gi``/``gh`` (fused or composed)."""
+    if kernels.fused_enabled():
+        return Tensor.gru_cell_fused(gi, gh, h, mask_t)
+    hs = gi.shape[-1] // 3
+    r = (gi[:, :hs] + gh[:, :hs]).sigmoid()
+    z = (gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
+    n = (gi[:, 2 * hs :] + r * gh[:, 2 * hs :]).tanh()
+    return _apply_mask_step((1.0 - z) * n + z * h, h, mask_t)
 
 
 class LSTMCell(Module):
@@ -46,19 +105,12 @@ class LSTMCell(Module):
     ) -> tuple[Tensor, Tensor]:
         batch = x.shape[0]
         if state is None:
-            h = Tensor(np.zeros((batch, self.hidden_size)))
-            c = Tensor(np.zeros((batch, self.hidden_size)))
+            h = kernels.zero_state(batch, self.hidden_size)
+            c = kernels.zero_state(batch, self.hidden_size)
         else:
             h, c = state
         gates = x @ self.w_ih.T + h @ self.w_hh.T + self.bias
-        hs = self.hidden_size
-        i = gates[:, :hs].sigmoid()
-        f = gates[:, hs : 2 * hs].sigmoid()
-        g = gates[:, 2 * hs : 3 * hs].tanh()
-        o = gates[:, 3 * hs :].sigmoid()
-        c_next = f * c + i * g
-        h_next = o * c_next.tanh()
-        return h_next, c_next
+        return _lstm_step(gates, h, c, None)
 
 
 class GRUCell(Module):
@@ -86,24 +138,10 @@ class GRUCell(Module):
     def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
         batch = x.shape[0]
         if h is None:
-            h = Tensor(np.zeros((batch, self.hidden_size)))
-        hs = self.hidden_size
+            h = kernels.zero_state(batch, self.hidden_size)
         gi = x @ self.w_ih.T + self.bias
         gh = h @ self.w_hh.T
-        r = (gi[:, :hs] + gh[:, :hs]).sigmoid()
-        z = (gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
-        n = (gi[:, 2 * hs :] + r * gh[:, 2 * hs :]).tanh()
-        return (1.0 - z) * n + z * h
-
-
-def _apply_mask_step(
-    new: Tensor, old: Tensor, mask_t: np.ndarray | None
-) -> Tensor:
-    """Keep the previous state where ``mask_t`` marks padding (False)."""
-    if mask_t is None:
-        return new
-    keep = mask_t.astype(np.float64)[:, None]
-    return new * Tensor(keep) + old * Tensor(1.0 - keep)
+        return _gru_step(gi, gh, h, None)
 
 
 class LSTM(Module):
@@ -113,6 +151,9 @@ class LSTM(Module):
     previous hidden state forward so that the final state is the state after
     the last *valid* input — this is how RAPID takes ``t_j = z_{j,D}`` for
     variable-length topical behavior sequences.
+
+    The input projection for every timestep is one batched matmul; only the
+    recurrent matmul and the (fused) gate update run inside the time loop.
     """
 
     def __init__(
@@ -129,15 +170,22 @@ class LSTM(Module):
         self, x: Tensor, mask: np.ndarray | None = None
     ) -> tuple[Tensor, Tensor]:
         """Return (outputs (batch, time, hidden), final hidden (batch, hidden))."""
-        batch, time, _ = x.shape
-        h = Tensor(np.zeros((batch, self.hidden_size)))
-        c = Tensor(np.zeros((batch, self.hidden_size)))
+        batch, time, features = x.shape
+        cell = self.cell
+        gi = (
+            x.reshape(batch * time, features) @ cell.w_ih.T + cell.bias
+        ).reshape(batch, time, 4 * self.hidden_size)
+        if kernels.fused_enabled():
+            outputs = Tensor.lstm_scan_fused(gi, cell.w_hh, mask)
+            return outputs, outputs[:, -1, :]
+        steps = _time_steps(gi, time)
+        h = kernels.zero_state(batch, self.hidden_size)
+        c = kernels.zero_state(batch, self.hidden_size)
         outputs: list[Tensor] = []
         for t in range(time):
             mask_t = mask[:, t] if mask is not None else None
-            h_new, c_new = self.cell(x[:, t, :], (h, c))
-            h = _apply_mask_step(h_new, h, mask_t)
-            c = _apply_mask_step(c_new, c, mask_t)
+            gates = steps[t] + h @ cell.w_hh.T
+            h, c = _lstm_step(gates, h, c, mask_t)
             outputs.append(h)
         return Tensor.stack(outputs, axis=1), h
 
@@ -158,12 +206,21 @@ class GRU(Module):
     def forward(
         self, x: Tensor, mask: np.ndarray | None = None
     ) -> tuple[Tensor, Tensor]:
-        batch, time, _ = x.shape
-        h = Tensor(np.zeros((batch, self.hidden_size)))
+        batch, time, features = x.shape
+        cell = self.cell
+        gi = (
+            x.reshape(batch * time, features) @ cell.w_ih.T + cell.bias
+        ).reshape(batch, time, 3 * self.hidden_size)
+        if kernels.fused_enabled():
+            outputs = Tensor.gru_scan_fused(gi, cell.w_hh, mask)
+            return outputs, outputs[:, -1, :]
+        steps = _time_steps(gi, time)
+        h = kernels.zero_state(batch, self.hidden_size)
         outputs: list[Tensor] = []
         for t in range(time):
             mask_t = mask[:, t] if mask is not None else None
-            h = _apply_mask_step(self.cell(x[:, t, :], h), h, mask_t)
+            gh = h @ cell.w_hh.T
+            h = _gru_step(steps[t], gh, h, mask_t)
             outputs.append(h)
         return Tensor.stack(outputs, axis=1), h
 

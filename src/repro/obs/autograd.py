@@ -61,16 +61,13 @@ def _display_name(method_name: str) -> str:
 def _wrap_forward(op: str, fn):
     from ..nn.tensor import Tensor
 
-    def profiled(*args, **kwargs):
-        start = time.perf_counter()
-        out = fn(*args, **kwargs)
-        _record(op, 0, time.perf_counter() - start)
+    def _hook_backward(result):
         if (
-            isinstance(out, Tensor)
-            and out._backward is not None
-            and not getattr(out._backward, "_obs_profiled", False)
+            isinstance(result, Tensor)
+            and result._backward is not None
+            and not getattr(result._backward, "_obs_profiled", False)
         ):
-            inner = out._backward
+            inner = result._backward
 
             def profiled_backward(grad):
                 t0 = time.perf_counter()
@@ -78,7 +75,19 @@ def _wrap_forward(op: str, fn):
                 _record(op, 2, time.perf_counter() - t0)
 
             profiled_backward._obs_profiled = True
-            out._backward = profiled_backward
+            result._backward = profiled_backward
+
+    def profiled(*args, **kwargs):
+        start = time.perf_counter()
+        out = fn(*args, **kwargs)
+        _record(op, 0, time.perf_counter() - start)
+        # Fused kernels (e.g. lstm_cell_fused) return a tuple of outputs;
+        # each output carries its own closure, all attributed to this op.
+        if isinstance(out, tuple):
+            for element in out:
+                _hook_backward(element)
+        else:
+            _hook_backward(out)
         return out
 
     profiled._obs_profiled_op = op

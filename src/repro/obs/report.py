@@ -110,25 +110,52 @@ def render_report(records: list[dict], top: int = 10) -> str:
     ops = [r for r in records if r.get("event") == "autograd.op"]
     if ops:
         ops = sorted(ops, key=lambda r: r.get("total_ms", 0.0), reverse=True)
-        sections.append(
-            _section(
-                f"Top autograd ops (top {top})",
-                _format_table(
-                    ops[:top],
-                    [
-                        "op",
-                        "forward_calls",
-                        "forward_ms",
-                        "backward_calls",
-                        "backward_ms",
-                        "total_ms",
-                    ],
-                    precision=2,
-                ),
-            )
+        body = _format_table(
+            ops[:top],
+            [
+                "op",
+                "forward_calls",
+                "forward_ms",
+                "backward_calls",
+                "backward_ms",
+                "total_ms",
+            ],
+            precision=2,
         )
+        fused_line = _fused_kernel_share(ops)
+        if fused_line:
+            body = f"{body}\n{fused_line}"
+        sections.append(_section(f"Top autograd ops (top {top})", body))
 
     return "\n\n".join(sections)
+
+
+_FUSED_OPS = (
+    "lstm_cell_fused",
+    "gru_cell_fused",
+    "lstm_scan_fused",
+    "gru_scan_fused",
+)
+
+
+def _fused_kernel_share(ops: list[dict]) -> str | None:
+    """One-line attribution of op time to the fused recurrent kernels.
+
+    With ``repro.nn.kernels`` active, the recurrent elementwise primitives
+    (sigmoid/tanh/mul/getitem per timestep) vanish from the profile and
+    their time lands on ``lstm_cell_fused`` / ``gru_cell_fused``; this line
+    makes that attribution explicit in the report.
+    """
+    total = sum(r.get("total_ms", 0.0) for r in ops)
+    fused = [r for r in ops if r.get("op") in _FUSED_OPS]
+    if not fused or total <= 0:
+        return None
+    fused_ms = sum(r.get("total_ms", 0.0) for r in fused)
+    names = ", ".join(sorted(r.get("op", "?") for r in fused))
+    return (
+        f"fused kernels ({names}): {fused_ms:.2f} ms — "
+        f"{100.0 * fused_ms / total:.1f}% of profiled op time"
+    )
 
 
 def report_path(path: str | Path, top: int = 10) -> str:

@@ -32,8 +32,10 @@ class _DLCMNetwork(nn.Module):
         inputs = Tensor(list_input_features(batch))
         outputs, final = self.gru(inputs, mask=batch.mask)
         b, length, hidden = outputs.shape
-        context = self.bilinear(final).reshape(b, 1, hidden)
-        interaction = (outputs * context).sum(axis=2)
+        # o_i^T W s_n for every position as one batched matmul:
+        # (B, L, h) @ (B, h, 1) instead of a broadcast-mul + reduction pair.
+        context = self.bilinear(final).reshape(b, hidden, 1)
+        interaction = (outputs @ context).reshape(b, length)
         direct = self.direct(outputs).reshape(b, length)
         return interaction + direct
 

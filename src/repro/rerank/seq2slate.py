@@ -126,9 +126,9 @@ class Seq2SlateReranker(NeuralReranker):
                 remaining_clicks & available, log_probs.numpy(), -np.inf
             )
             chosen = probs.argmax(axis=1)
-            for row in np.flatnonzero(active_rows):
-                available[row, chosen[row]] = False
-                remaining_clicks[row, chosen[row]] = False
+            rows = np.flatnonzero(active_rows)
+            available[rows, chosen[rows]] = False
+            remaining_clicks[rows, chosen[rows]] = False
             # Advance the decoder with the pooled memory of chosen items.
             chosen_repr = memory[np.arange(batch.batch_size), chosen, :]
             state = network.decoder_cell(chosen_repr, state)
@@ -163,9 +163,9 @@ class Seq2SlateReranker(NeuralReranker):
                     logits = np.where(available, logits, -np.inf)
                     rows_active = available.any(axis=1)
                     chosen = logits.argmax(axis=1)
-                    for row in np.flatnonzero(rows_active):
-                        order[row, position] = chosen[row]
-                        available[row, chosen[row]] = False
+                    rows = np.flatnonzero(rows_active)
+                    order[rows, position] = chosen[rows]
+                    available[rows, chosen[rows]] = False
                     chosen_repr = memory[
                         np.arange(batch.batch_size), chosen, :
                     ]

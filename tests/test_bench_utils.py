@@ -1,0 +1,77 @@
+"""Benchmark tooling tests: trajectory upsert + the recorded PR 2 snapshot.
+
+``benchmarks/`` is not a package (pytest only collects ``tests/``), so
+``bench_utils`` is loaded by file path the same way the benchmark scripts
+import it by directory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+def _load_bench_utils():
+    spec = importlib.util.spec_from_file_location(
+        "bench_utils_under_test", BENCH_DIR / "bench_utils.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _redirect_paths(module, monkeypatch, tmp_path):
+    monkeypatch.setattr(module, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path / "results")
+    monkeypatch.setattr(module, "TRAJECTORY_PATH", tmp_path / "results" / "t.jsonl")
+
+
+class TestPublishBenchmark:
+    def test_writes_snapshot_and_trajectory(self, monkeypatch, tmp_path):
+        bench_utils = _load_bench_utils()
+        _redirect_paths(bench_utils, monkeypatch, tmp_path)
+
+        path = bench_utils.publish_benchmark("prX", {"ops": [{"op": "a"}]})
+        assert path == tmp_path / "BENCH_prX.json"
+        snapshot = json.loads(path.read_text())
+        assert snapshot["tag"] == "prX"
+        assert snapshot["ops"] == [{"op": "a"}]
+        assert bench_utils.read_trajectory() == [snapshot]
+
+    def test_rerun_replaces_own_tag_and_keeps_others(self, monkeypatch, tmp_path):
+        bench_utils = _load_bench_utils()
+        _redirect_paths(bench_utils, monkeypatch, tmp_path)
+
+        bench_utils.publish_benchmark("pr1", {"n": 1})
+        bench_utils.publish_benchmark("pr2", {"n": 2})
+        bench_utils.publish_benchmark("pr1", {"n": 3})
+
+        rows = bench_utils.read_trajectory()
+        assert [(r["tag"], r["n"]) for r in rows] == [("pr2", 2), ("pr1", 3)]
+        lines = bench_utils.TRAJECTORY_PATH.read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_read_trajectory_empty_when_missing(self, monkeypatch, tmp_path):
+        bench_utils = _load_bench_utils()
+        _redirect_paths(bench_utils, monkeypatch, tmp_path)
+        assert bench_utils.read_trajectory() == []
+
+
+class TestRecordedBenchmarkSnapshot:
+    """The committed BENCH_pr2.json must carry the acceptance evidence."""
+
+    def test_schema_and_lstm_step_speedup(self):
+        snapshot = json.loads((REPO_ROOT / "BENCH_pr2.json").read_text())
+        assert snapshot["tag"] == "pr2"
+        ops = {row["op"]: row for row in snapshot["ops"]}
+        for required in ("lstm_step", "gru_step", "rapid_train_step"):
+            assert required in ops
+        for row in ops.values():
+            for key in ("median_ms", "p95_ms", "speedup_vs_unfused"):
+                assert isinstance(row[key], float)
+        assert ops["lstm_step"]["speedup_vs_unfused"] >= 3.0
+        assert ops["rapid_train_step"]["speedup_vs_unfused"] > 1.0

@@ -100,6 +100,20 @@ class TestIncrementalGain:
         assert gains.shape == tau.shape
         assert np.allclose(gains[1], incremental_gain(tau[1], "saturating"))
 
+    @pytest.mark.parametrize("kind", ["saturating", "log"])
+    @given(coverage_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_prefix_reevaluation_loop(self, kind, tau):
+        """The cumsum closed form equals the literal per-prefix definition."""
+        function = saturating_coverage if kind == "saturating" else log_coverage
+        expected = np.empty_like(tau)
+        previous = np.zeros(tau.shape[-1])
+        for position in range(tau.shape[0]):
+            current = function(tau[: position + 1])
+            expected[position] = current - previous
+            previous = current
+        assert np.allclose(incremental_gain(tau, kind), expected, atol=1e-10)
+
 
 class TestRapidWithAlternativeCoverage:
     def test_variant_builds_and_scores(self, taobao_world):

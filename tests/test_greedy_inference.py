@@ -74,6 +74,64 @@ class TestGreedyRerank:
         assert set(perm[0][-3:].tolist()) == {3, 4, 5}
 
 
+def _reference_greedy(model, batch):
+    """Per-row greedy construction (the pre-vectorization implementation)."""
+    from repro import nn
+    from repro.nn import Tensor
+
+    was_training = model.training
+    model.eval()
+    try:
+        with nn.no_grad():
+            relevance = model.relevance(batch).numpy()
+            theta = model.diversity.preference_distribution(batch).numpy()
+    finally:
+        model.train(was_training)
+    batch_size, length, _ = relevance.shape
+    m = model.config.num_topics
+    permutations = np.empty((batch_size, length), dtype=np.int64)
+    for row in range(batch_size):
+        valid = np.flatnonzero(batch.mask[row])
+        prefix_complement = np.ones(m)
+        chosen: list[int] = []
+        remaining = list(valid)
+        while remaining:
+            gains = batch.coverage[row, remaining] * prefix_complement
+            delta = gains * theta[row]
+            features = Tensor(
+                np.concatenate([relevance[row, remaining], delta], axis=1)[
+                    None, :, :
+                ]
+            )
+            with nn.no_grad():
+                scores = model.head.inference_scores(features).numpy()[0]
+            pick = remaining[int(np.argmax(scores))]
+            chosen.append(pick)
+            remaining.remove(pick)
+            prefix_complement = prefix_complement * (1.0 - batch.coverage[row, pick])
+        invalid = np.flatnonzero(~batch.mask[row])
+        permutations[row] = np.concatenate([chosen, invalid])
+    return permutations
+
+
+class TestVectorizedGreedyEquivalence:
+    def test_matches_per_row_reference(self, setup):
+        _, _, _, batch, config = setup
+        model = make_rapid_variant("rapid-pro", config)
+        assert np.array_equal(model.greedy_rerank(batch), _reference_greedy(model, batch))
+
+    def test_matches_reference_with_padding(self, setup):
+        world, histories, _, _, config = setup
+        requests = [
+            RankingRequest(0, np.arange(3), np.zeros(3)),
+            RankingRequest(1, np.arange(7), np.zeros(7)),
+            RankingRequest(2, np.arange(5), np.zeros(5)),
+        ]
+        batch = build_batch(requests, world.catalog, world.population, histories)
+        model = make_rapid_variant("rapid-pro", config)
+        assert np.array_equal(model.greedy_rerank(batch), _reference_greedy(model, batch))
+
+
 class TestGreedyReranker:
     def test_reranker_dispatch(self, setup):
         world, histories, requests, batch, config = setup

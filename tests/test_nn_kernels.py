@@ -1,0 +1,555 @@
+"""Fused recurrent kernel tests: gradchecks, masking, escape hatch, profiler.
+
+The fused kernels must be *numerically interchangeable* with the composed-op
+graph: identical forward values (same primitive formulas in the same order)
+and gradients matching to tight tolerance (closed-form backward vs chained
+primitive backwards differ only in floating-point summation order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, kernels
+from repro.nn.kernels import (
+    fused_enabled,
+    gru_cell_fused,
+    gru_scan_fused,
+    lstm_cell_fused,
+    lstm_scan_fused,
+    set_fused,
+    time_unbind,
+    use_fused,
+    zero_state,
+)
+
+
+def _random_case(rng, batch, hidden, factor, scale=1.0):
+    gates = rng.normal(size=(batch, factor * hidden)) * scale
+    h = rng.normal(size=(batch, hidden))
+    c = rng.normal(size=(batch, hidden))
+    return gates, h, c
+
+
+def _composed_lstm(gates: Tensor, h: Tensor, c: Tensor, mask_t=None):
+    hs = gates.shape[-1] // 4
+    i = gates[:, :hs].sigmoid()
+    f = gates[:, hs : 2 * hs].sigmoid()
+    g = gates[:, 2 * hs : 3 * hs].tanh()
+    o = gates[:, 3 * hs :].sigmoid()
+    c_next = f * c + i * g
+    h_next = o * c_next.tanh()
+    if mask_t is not None:
+        keep = Tensor(mask_t.astype(np.float64)[:, None])
+        h_next = h_next * keep + h * (Tensor(1.0) - keep)
+        c_next = c_next * keep + c * (Tensor(1.0) - keep)
+    return h_next, c_next
+
+
+def _composed_gru(gi: Tensor, gh: Tensor, h: Tensor, mask_t=None):
+    hs = gi.shape[-1] // 3
+    r = (gi[:, :hs] + gh[:, :hs]).sigmoid()
+    z = (gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
+    n = (gi[:, 2 * hs :] + r * gh[:, 2 * hs :]).tanh()
+    h_next = (1.0 - z) * n + z * h
+    if mask_t is not None:
+        keep = Tensor(mask_t.astype(np.float64)[:, None])
+        h_next = h_next * keep + h * (Tensor(1.0) - keep)
+    return h_next
+
+
+def _loss(h: Tensor, c: Tensor | None = None) -> Tensor:
+    # Mixes both outputs nonlinearly so every gradient path is exercised.
+    total = (h * h).sum() + h.sum()
+    if c is not None:
+        total = total + (c * c * 0.5).sum() + c.tanh().sum()
+    return total
+
+
+class TestLSTMCellFusedGradcheck:
+    @pytest.mark.parametrize(
+        "batch,hidden,scale",
+        [(1, 1, 1.0), (3, 4, 1.0), (5, 7, 1.0), (2, 3, 50.0), (2, 3, 1e-6)],
+    )
+    def test_matches_composed_graph(self, batch, hidden, scale):
+        rng = np.random.default_rng(batch * 100 + hidden)
+        gates_d, h_d, c_d = _random_case(rng, batch, hidden, 4, scale)
+
+        gates_f = Tensor(gates_d, requires_grad=True)
+        h_f = Tensor(h_d, requires_grad=True)
+        c_f = Tensor(c_d, requires_grad=True)
+        hf, cf = lstm_cell_fused(gates_f, h_f, c_f)
+        _loss(hf, cf).backward()
+
+        gates_c = Tensor(gates_d, requires_grad=True)
+        h_c = Tensor(h_d, requires_grad=True)
+        c_c = Tensor(c_d, requires_grad=True)
+        hc, cc = _composed_lstm(gates_c, h_c, c_c)
+        _loss(hc, cc).backward()
+
+        assert np.array_equal(hf.numpy(), hc.numpy())
+        assert np.array_equal(cf.numpy(), cc.numpy())
+        assert np.allclose(gates_f.grad, gates_c.grad, atol=1e-8)
+        assert np.allclose(c_f.grad, c_c.grad, atol=1e-8)
+        # Without a mask, h_prev only feeds the step through the (external)
+        # recurrent matmul, so no gradient reaches it from the cell itself.
+        assert h_f.grad is None and h_c.grad is None
+
+    @pytest.mark.parametrize("masked_rows", [0, 1, 2])
+    def test_masked_steps_match_composed(self, masked_rows):
+        rng = np.random.default_rng(7 + masked_rows)
+        gates_d, h_d, c_d = _random_case(rng, 4, 3, 4)
+        mask = np.ones(4, dtype=bool)
+        mask[:masked_rows] = False
+
+        gates_f = Tensor(gates_d, requires_grad=True)
+        h_f = Tensor(h_d, requires_grad=True)
+        c_f = Tensor(c_d, requires_grad=True)
+        hf, cf = lstm_cell_fused(gates_f, h_f, c_f, mask)
+        _loss(hf, cf).backward()
+
+        gates_c = Tensor(gates_d, requires_grad=True)
+        h_c = Tensor(h_d, requires_grad=True)
+        c_c = Tensor(c_d, requires_grad=True)
+        hc, cc = _composed_lstm(gates_c, h_c, c_c, mask)
+        _loss(hc, cc).backward()
+
+        assert np.array_equal(hf.numpy(), hc.numpy())
+        assert np.array_equal(cf.numpy(), cc.numpy())
+        assert np.allclose(gates_f.grad, gates_c.grad, atol=1e-8)
+        assert np.allclose(h_f.grad, h_c.grad, atol=1e-8)
+        assert np.allclose(c_f.grad, c_c.grad, atol=1e-8)
+        # Padded rows pass their gradient through to the previous state.
+        if masked_rows:
+            assert np.array_equal(
+                np.asarray(gates_f.grad)[:masked_rows], 0.0 * gates_d[:masked_rows]
+            )
+
+    def test_finite_difference_gradient(self):
+        rng = np.random.default_rng(11)
+        gates_d, h_d, c_d = _random_case(rng, 2, 3, 4)
+        eps = 1e-6
+
+        def loss_at(gates_values, c_values):
+            with nn.no_grad():
+                h, c = lstm_cell_fused(
+                    Tensor(gates_values), Tensor(h_d), Tensor(c_values)
+                )
+                return _loss(h, c).item()
+
+        gates = Tensor(gates_d, requires_grad=True)
+        c_prev = Tensor(c_d, requires_grad=True)
+        h, c = lstm_cell_fused(gates, Tensor(h_d), c_prev)
+        _loss(h, c).backward()
+
+        for target, grad in ((gates_d, gates.grad), (c_d, c_prev.grad)):
+            numeric = np.zeros_like(target)
+            flat, numeric_flat = target.ravel(), numeric.ravel()
+            for index in range(flat.size):
+                original = flat[index]
+                flat[index] = original + eps
+                plus = loss_at(gates_d, c_d)
+                flat[index] = original - eps
+                minus = loss_at(gates_d, c_d)
+                flat[index] = original
+                numeric_flat[index] = (plus - minus) / (2 * eps)
+            assert np.allclose(grad, numeric, atol=1e-6)
+
+
+class TestGRUCellFusedGradcheck:
+    @pytest.mark.parametrize(
+        "batch,hidden,scale",
+        [(1, 1, 1.0), (3, 4, 1.0), (5, 7, 1.0), (2, 3, 50.0), (2, 3, 1e-6)],
+    )
+    def test_matches_composed_graph(self, batch, hidden, scale):
+        rng = np.random.default_rng(batch * 10 + hidden)
+        gi_d = rng.normal(size=(batch, 3 * hidden)) * scale
+        gh_d = rng.normal(size=(batch, 3 * hidden)) * scale
+        h_d = rng.normal(size=(batch, hidden))
+
+        gi_f = Tensor(gi_d, requires_grad=True)
+        gh_f = Tensor(gh_d, requires_grad=True)
+        h_f = Tensor(h_d, requires_grad=True)
+        hf = gru_cell_fused(gi_f, gh_f, h_f)
+        _loss(hf).backward()
+
+        gi_c = Tensor(gi_d, requires_grad=True)
+        gh_c = Tensor(gh_d, requires_grad=True)
+        h_c = Tensor(h_d, requires_grad=True)
+        hc = _composed_gru(gi_c, gh_c, h_c)
+        _loss(hc).backward()
+
+        assert np.array_equal(hf.numpy(), hc.numpy())
+        assert np.allclose(gi_f.grad, gi_c.grad, atol=1e-8)
+        assert np.allclose(gh_f.grad, gh_c.grad, atol=1e-8)
+        assert np.allclose(h_f.grad, h_c.grad, atol=1e-8)
+
+    def test_masked_steps_match_composed(self):
+        rng = np.random.default_rng(23)
+        gi_d = rng.normal(size=(4, 9))
+        gh_d = rng.normal(size=(4, 9))
+        h_d = rng.normal(size=(4, 3))
+        mask = np.array([False, True, False, True])
+
+        gi_f = Tensor(gi_d, requires_grad=True)
+        gh_f = Tensor(gh_d, requires_grad=True)
+        h_f = Tensor(h_d, requires_grad=True)
+        _loss(gru_cell_fused(gi_f, gh_f, h_f, mask)).backward()
+
+        gi_c = Tensor(gi_d, requires_grad=True)
+        gh_c = Tensor(gh_d, requires_grad=True)
+        h_c = Tensor(h_d, requires_grad=True)
+        _loss(_composed_gru(gi_c, gh_c, h_c, mask)).backward()
+
+        assert np.allclose(gi_f.grad, gi_c.grad, atol=1e-8)
+        assert np.allclose(gh_f.grad, gh_c.grad, atol=1e-8)
+        assert np.allclose(h_f.grad, h_c.grad, atol=1e-8)
+
+    def test_finite_difference_gradient(self):
+        rng = np.random.default_rng(29)
+        gi_d = rng.normal(size=(2, 9))
+        gh_d = rng.normal(size=(2, 9))
+        h_d = rng.normal(size=(2, 3))
+        eps = 1e-6
+
+        gi = Tensor(gi_d, requires_grad=True)
+        gh = Tensor(gh_d, requires_grad=True)
+        h = Tensor(h_d, requires_grad=True)
+        _loss(gru_cell_fused(gi, gh, h)).backward()
+
+        for target, grad in ((gi_d, gi.grad), (gh_d, gh.grad), (h_d, h.grad)):
+            numeric = np.zeros_like(target)
+            flat, numeric_flat = target.ravel(), numeric.ravel()
+            for index in range(flat.size):
+                original = flat[index]
+                flat[index] = original + eps
+                with nn.no_grad():
+                    plus = _loss(
+                        gru_cell_fused(Tensor(gi_d), Tensor(gh_d), Tensor(h_d))
+                    ).item()
+                flat[index] = original - eps
+                with nn.no_grad():
+                    minus = _loss(
+                        gru_cell_fused(Tensor(gi_d), Tensor(gh_d), Tensor(h_d))
+                    ).item()
+                flat[index] = original
+                numeric_flat[index] = (plus - minus) / (2 * eps)
+            assert np.allclose(grad, numeric, atol=1e-6)
+
+
+class TestScanGradcheck:
+    """Finite-difference checks for the whole-sequence scan kernels.
+
+    The layer-level fused-vs-composed agreement lives in
+    :class:`TestSequenceEquivalence`; these pin the scan backwards against
+    numeric gradients directly, without the composed graph as an oracle.
+    """
+
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_lstm_scan_finite_difference(self, masked):
+        rng = np.random.default_rng(31)
+        gi_d = rng.normal(size=(2, 3, 8))
+        w_d = rng.normal(size=(8, 2)) * 0.5
+        mask = None
+        if masked:
+            mask = np.array([[True, False, True], [True, True, False]])
+        eps = 1e-6
+
+        def loss_at():
+            with nn.no_grad():
+                out = lstm_scan_fused(Tensor(gi_d), Tensor(w_d), mask)
+                return _loss(out).item()
+
+        gi = Tensor(gi_d, requires_grad=True)
+        w = Tensor(w_d, requires_grad=True)
+        _loss(lstm_scan_fused(gi, w, mask)).backward()
+
+        for target, grad in ((gi_d, gi.grad), (w_d, w.grad)):
+            numeric = np.zeros_like(target)
+            flat, numeric_flat = target.ravel(), numeric.ravel()
+            for index in range(flat.size):
+                original = flat[index]
+                flat[index] = original + eps
+                plus = loss_at()
+                flat[index] = original - eps
+                minus = loss_at()
+                flat[index] = original
+                numeric_flat[index] = (plus - minus) / (2 * eps)
+            assert np.allclose(grad, numeric, atol=1e-6)
+
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_gru_scan_finite_difference(self, masked):
+        rng = np.random.default_rng(37)
+        gi_d = rng.normal(size=(2, 3, 6))
+        w_d = rng.normal(size=(6, 2)) * 0.5
+        mask = None
+        if masked:
+            mask = np.array([[True, True, False], [True, False, True]])
+        eps = 1e-6
+
+        def loss_at():
+            with nn.no_grad():
+                out = gru_scan_fused(Tensor(gi_d), Tensor(w_d), mask)
+                return _loss(out).item()
+
+        gi = Tensor(gi_d, requires_grad=True)
+        w = Tensor(w_d, requires_grad=True)
+        _loss(gru_scan_fused(gi, w, mask)).backward()
+
+        for target, grad in ((gi_d, gi.grad), (w_d, w.grad)):
+            numeric = np.zeros_like(target)
+            flat, numeric_flat = target.ravel(), numeric.ravel()
+            for index in range(flat.size):
+                original = flat[index]
+                flat[index] = original + eps
+                plus = loss_at()
+                flat[index] = original - eps
+                minus = loss_at()
+                flat[index] = original
+                numeric_flat[index] = (plus - minus) / (2 * eps)
+            assert np.allclose(grad, numeric, atol=1e-6)
+
+
+class TestTimeUnbind:
+    def test_values_match_getitem_slices(self):
+        x_d = np.random.default_rng(41).normal(size=(3, 4, 5))
+        steps = time_unbind(Tensor(x_d, requires_grad=True))
+        assert len(steps) == 4
+        for t, step in enumerate(steps):
+            assert np.array_equal(step.numpy(), x_d[:, t])
+
+    def test_gradients_match_getitem_graph(self):
+        x_d = np.random.default_rng(43).normal(size=(2, 3, 4))
+
+        def run(split):
+            x = Tensor(x_d, requires_grad=True)
+            steps = split(x)
+            # Skip t=1 entirely: a partially-consumed unbind must still
+            # deliver the shared buffer to the parent.
+            (steps[0].sum() + (steps[2] * 2.0).sum()).backward()
+            return np.asarray(x.grad)
+
+        unbound = run(time_unbind)
+        composed = run(lambda x: tuple(x[:, t, :] for t in range(3)))
+        assert np.array_equal(unbound, composed)
+        expected = np.zeros_like(x_d)
+        expected[:, 0] = 1.0
+        expected[:, 2] = 2.0
+        assert np.array_equal(unbound, expected)
+
+    def test_no_grad_passthrough(self):
+        x = Tensor(np.ones((2, 3, 4)))
+        steps = time_unbind(x)
+        assert all(not step.requires_grad for step in steps)
+        assert np.array_equal(steps[1].numpy(), np.ones((2, 4)))
+
+
+class TestSequenceEquivalence:
+    """Whole-layer fused vs composed agreement, including parameters."""
+
+    @pytest.mark.parametrize("layer_cls", [nn.LSTM, nn.GRU])
+    def test_layer_outputs_and_grads_agree(self, layer_cls):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 6, 5))
+        mask = rng.random((4, 6)) < 0.7
+        mask[:, 0] = True
+        layer = layer_cls(5, 3, rng=np.random.default_rng(5))
+
+        results = {}
+        for flag in (True, False):
+            with use_fused(flag):
+                layer.zero_grad()
+                outputs, final = layer(Tensor(x), mask=mask)
+                (_loss(outputs) + _loss(final)).backward()
+                results[flag] = (
+                    outputs.numpy().copy(),
+                    final.numpy().copy(),
+                    {k: v.grad.copy() for k, v in layer.named_parameters()},
+                )
+
+        out_f, fin_f, grads_f = results[True]
+        out_c, fin_c, grads_c = results[False]
+        assert np.array_equal(out_f, out_c)
+        assert np.array_equal(fin_f, fin_c)
+        for name in grads_f:
+            assert np.allclose(grads_f[name], grads_c[name], atol=1e-8), name
+
+    def test_bilstm_agrees(self):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(3, 5, 4))
+        bi = nn.BiLSTM(4, 2, rng=np.random.default_rng(17))
+        with use_fused(True):
+            fused = bi(Tensor(x)).numpy().copy()
+        with use_fused(False):
+            composed = bi(Tensor(x)).numpy().copy()
+        assert np.array_equal(fused, composed)
+
+    def test_single_cell_calls_agree(self):
+        rng = np.random.default_rng(19)
+        x = rng.normal(size=(3, 4))
+        lstm_cell = nn.LSTMCell(4, 3, rng=np.random.default_rng(19))
+        gru_cell = nn.GRUCell(4, 3, rng=np.random.default_rng(19))
+        with use_fused(True):
+            hf, cf = lstm_cell(Tensor(x))
+            gf = gru_cell(Tensor(x))
+        with use_fused(False):
+            hc, cc = lstm_cell(Tensor(x))
+            gc = gru_cell(Tensor(x))
+        assert np.array_equal(hf.numpy(), hc.numpy())
+        assert np.array_equal(cf.numpy(), cc.numpy())
+        assert np.array_equal(gf.numpy(), gc.numpy())
+
+
+class TestEscapeHatch:
+    def test_env_var_controls_default(self, monkeypatch):
+        set_fused(None)
+        monkeypatch.setenv("REPRO_NN_FUSED", "0")
+        assert not fused_enabled()
+        monkeypatch.setenv("REPRO_NN_FUSED", "false")
+        assert not fused_enabled()
+        monkeypatch.setenv("REPRO_NN_FUSED", "1")
+        assert fused_enabled()
+        monkeypatch.delenv("REPRO_NN_FUSED")
+        assert fused_enabled()
+
+    def test_module_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_FUSED", "0")
+        try:
+            set_fused(True)
+            assert fused_enabled()
+        finally:
+            set_fused(None)
+
+    def test_training_losses_identical_across_paths(self, taobao_world):
+        """A short real training run must be path-independent (satellite)."""
+        from repro.core.rapid import RapidConfig, make_rapid_variant
+        from repro.core.trainer import TrainConfig, train_rapid
+        from repro.data import RankingRequest
+
+        world = taobao_world
+        histories = world.sample_histories()
+        rng = np.random.default_rng(0)
+        requests = []
+        for _ in range(24):
+            user = int(rng.integers(world.config.num_users))
+            items = rng.choice(world.config.num_items, size=6, replace=False)
+            clicks = (rng.random(6) < 0.4).astype(float)
+            requests.append(
+                RankingRequest(user, items, rng.normal(size=6), clicks=clicks)
+            )
+        config = RapidConfig(
+            user_dim=world.population.feature_dim,
+            item_dim=world.catalog.feature_dim,
+            num_topics=world.catalog.num_topics,
+            hidden=6,
+            seed=0,
+        )
+        losses = {}
+        for flag in (True, False):
+            with use_fused(flag):
+                model = make_rapid_variant("rapid-pro", config)
+                losses[flag] = np.asarray(
+                    train_rapid(
+                        model,
+                        requests,
+                        world.catalog,
+                        world.population,
+                        histories,
+                        config=TrainConfig(epochs=2, batch_size=8, seed=0),
+                    )
+                )
+        assert np.allclose(losses[True], losses[False], atol=1e-8)
+
+
+class TestZeroStateCache:
+    def test_same_object_per_shape(self):
+        a = zero_state(4, 3)
+        b = zero_state(4, 3)
+        c = zero_state(2, 3)
+        assert a is b
+        assert c is not a
+        assert not a.numpy().flags.writeable
+        assert np.array_equal(a.numpy(), np.zeros((4, 3)))
+
+    def test_cells_do_not_leak_state_between_calls(self):
+        cell = nn.LSTMCell(3, 2, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((2, 3)))
+        h1, c1 = cell(x)
+        h2, c2 = cell(x)
+        assert np.array_equal(h1.numpy(), h2.numpy())
+        assert np.array_equal(c1.numpy(), c2.numpy())
+
+
+class TestProfilerIntegration:
+    def test_fused_ops_registered(self):
+        from repro.nn.tensor import PROFILED_OPS
+
+        for op in (
+            "lstm_cell_fused",
+            "gru_cell_fused",
+            "lstm_scan_fused",
+            "gru_scan_fused",
+            "time_unbind",
+        ):
+            assert op in PROFILED_OPS
+        assert Tensor.lstm_cell_fused is lstm_cell_fused
+        assert Tensor.gru_cell_fused is gru_cell_fused
+
+    def test_profiler_attributes_fused_time(self):
+        from repro.obs.autograd import op_stats, profile_ops
+
+        lstm = nn.LSTM(4, 3, rng=np.random.default_rng(0))
+        gru = nn.GRU(4, 3, rng=np.random.default_rng(0))
+        lstm_cell = nn.LSTMCell(4, 3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 4)))
+        x_t = Tensor(np.random.default_rng(2).normal(size=(2, 4)))
+        with use_fused(True), profile_ops():
+            outputs, final = lstm(x)
+            _loss(outputs).backward()
+            outputs, final = gru(x)
+            _loss(outputs).backward()
+            h, c = lstm_cell(x_t)
+            (_loss(h) + _loss(c)).backward()
+            stats = {row["op"]: row for row in op_stats()}
+        # Sequence layers run as one fused scan node per call...
+        for op in ("lstm_scan_fused", "gru_scan_fused"):
+            assert op in stats
+            assert stats[op]["forward_calls"] == 1
+            assert stats[op]["backward_calls"] == 1
+        # ...while a bare cell call profiles under the cell kernel.
+        assert stats["lstm_cell_fused"]["forward_calls"] == 1
+        assert stats["lstm_cell_fused"]["backward_calls"] > 0
+
+    def test_report_renders_fused_share_line(self):
+        from repro.obs.report import render_report
+
+        records = [
+            {
+                "run_id": "r",
+                "ts": 0.0,
+                "event": "autograd.op",
+                "op": "lstm_cell_fused",
+                "forward_calls": 10,
+                "forward_ms": 5.0,
+                "backward_calls": 10,
+                "backward_ms": 5.0,
+                "total_ms": 10.0,
+            },
+            {
+                "run_id": "r",
+                "ts": 1.0,
+                "event": "autograd.op",
+                "op": "matmul",
+                "forward_calls": 10,
+                "forward_ms": 15.0,
+                "backward_calls": 10,
+                "backward_ms": 15.0,
+                "total_ms": 30.0,
+            },
+        ]
+        text = render_report(records)
+        assert "lstm_cell_fused" in text
+        assert "fused kernels" in text
+        assert "25.0% of profiled op time" in text
