@@ -47,6 +47,8 @@ __all__ = [
     "set_fused",
     "use_fused",
     "zero_state",
+    "ORACLE_CASES",
+    "register_oracle_case",
 ]
 
 # ----------------------------------------------------------------------
@@ -535,3 +537,119 @@ register_custom_op("gru_cell_fused", gru_cell_fused)
 register_custom_op("lstm_scan_fused", lstm_scan_fused)
 register_custom_op("gru_scan_fused", gru_scan_fused)
 register_custom_op("time_unbind", time_unbind)
+
+
+# ----------------------------------------------------------------------
+# Differential-oracle registration.  Every fused kernel registers a case
+# that builds random inputs and a dispatch-sensitive function: run under
+# ``use_fused(True)`` it takes the fused kernel, under ``use_fused(False)``
+# the composed-op graph of ``repro.nn.layers.recurrent``.  The engine in
+# ``repro.testing.oracle`` replays these cases under both paths plus a
+# finite-difference oracle; register a case here whenever a new fused op
+# lands so it is covered automatically.
+#
+# A case factory maps an ``np.random.Generator`` to
+# ``(fn, input_arrays, input_names)``.
+# ----------------------------------------------------------------------
+
+ORACLE_CASES: dict[str, "object"] = {}
+
+
+def register_oracle_case(name: str, build) -> None:
+    """Register the differential-test case factory for a fused kernel."""
+    ORACLE_CASES[name] = build
+
+
+def _step_mask(rng: np.random.Generator, batch: int) -> np.ndarray:
+    mask = rng.random(batch) < 0.75
+    mask[0] = True  # keep at least one live row so gradients are nonzero
+    return mask
+
+
+def _build_lstm_cell_case(rng):
+    from .layers.recurrent import _lstm_step
+
+    batch, hidden = 3, 4
+    gates = rng.normal(size=(batch, 4 * hidden)) * 0.8
+    h0 = rng.normal(size=(batch, hidden)) * 0.5
+    c0 = rng.normal(size=(batch, hidden)) * 0.5
+    mask = _step_mask(rng, batch)
+
+    def fn(gates_t, h_t, c_t):
+        return _lstm_step(gates_t, h_t, c_t, mask)
+
+    return fn, (gates, h0, c0), ("gates", "h_prev", "c_prev")
+
+
+def _build_gru_cell_case(rng):
+    from .layers.recurrent import _gru_step
+
+    batch, hidden = 3, 4
+    gi = rng.normal(size=(batch, 3 * hidden)) * 0.8
+    gh = rng.normal(size=(batch, 3 * hidden)) * 0.8
+    h0 = rng.normal(size=(batch, hidden)) * 0.5
+    mask = _step_mask(rng, batch)
+
+    def fn(gi_t, gh_t, h_t):
+        return _gru_step(gi_t, gh_t, h_t, mask)
+
+    return fn, (gi, gh, h0), ("gi", "gh", "h_prev")
+
+
+def _scan_mask(rng, batch: int, time: int) -> np.ndarray:
+    mask = rng.random((batch, time)) < 0.8
+    mask[:, 0] = True
+    return mask
+
+
+def _build_lstm_scan_case(rng):
+    from .layers.recurrent import _lstm_step, _time_steps
+
+    batch, time, hidden = 2, 4, 3
+    gi = rng.normal(size=(batch, time, 4 * hidden)) * 0.8
+    w_hh = rng.normal(size=(4 * hidden, hidden)) * 0.4
+    mask = _scan_mask(rng, batch, time)
+
+    def fn(gi_t, w_t):
+        if fused_enabled():
+            return Tensor.lstm_scan_fused(gi_t, w_t, mask)
+        steps = _time_steps(gi_t, time)
+        h = zero_state(batch, hidden)
+        c = zero_state(batch, hidden)
+        outputs = []
+        for t in range(time):
+            gates = steps[t] + h @ w_t.T
+            h, c = _lstm_step(gates, h, c, mask[:, t])
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1)
+
+    return fn, (gi, w_hh), ("gi", "w_hh")
+
+
+def _build_gru_scan_case(rng):
+    from .layers.recurrent import _gru_step, _time_steps
+
+    batch, time, hidden = 2, 4, 3
+    gi = rng.normal(size=(batch, time, 3 * hidden)) * 0.8
+    w_hh = rng.normal(size=(3 * hidden, hidden)) * 0.4
+    mask = _scan_mask(rng, batch, time)
+
+    def fn(gi_t, w_t):
+        if fused_enabled():
+            return Tensor.gru_scan_fused(gi_t, w_t, mask)
+        steps = _time_steps(gi_t, time)
+        h = zero_state(batch, hidden)
+        outputs = []
+        for t in range(time):
+            gh = h @ w_t.T
+            h = _gru_step(steps[t], gh, h, mask[:, t])
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1)
+
+    return fn, (gi, w_hh), ("gi", "w_hh")
+
+
+register_oracle_case("lstm_cell_fused", _build_lstm_cell_case)
+register_oracle_case("gru_cell_fused", _build_gru_cell_case)
+register_oracle_case("lstm_scan_fused", _build_lstm_scan_case)
+register_oracle_case("gru_scan_fused", _build_gru_scan_case)

@@ -32,6 +32,9 @@ __all__ = [
     "is_grad_enabled",
     "register_custom_op",
     "PROFILED_OPS",
+    "op_function",
+    "install_op_wrappers",
+    "restore_ops",
 ]
 
 _GRAD_ENABLED = True
@@ -574,6 +577,45 @@ def as_tensor(value) -> Tensor:
     if isinstance(value, Tensor):
         return value
     return Tensor(value)
+
+
+def op_function(name: str) -> tuple[Callable, bool]:
+    """Return ``(function, is_static)`` for a :data:`PROFILED_OPS` entry.
+
+    This is the dispatch surface shared by every op-level instrumentation
+    layer (the ``repro.obs.autograd`` profiler and the
+    ``repro.testing.sanitize`` numerical sanitizer): hooks read the current
+    attribute — which may already be another layer's wrapper, so stacked
+    instrumentation composes — and re-install it via
+    :func:`install_op_wrappers` / :func:`restore_ops`.
+    """
+    raw = Tensor.__dict__[name]
+    is_static = isinstance(raw, staticmethod)
+    return (raw.__func__ if is_static else raw), is_static
+
+
+def install_op_wrappers(
+    make_wrapper: Callable[[str, Callable], Callable],
+) -> dict[str, object]:
+    """Wrap every op in :data:`PROFILED_OPS` with ``make_wrapper(name, fn)``.
+
+    Returns the mapping of raw attribute objects (staticmethods preserved)
+    to hand back to :func:`restore_ops`.  Wrapping is not idempotent by
+    itself — callers guard with their own enabled flag.
+    """
+    originals: dict[str, object] = {}
+    for name in PROFILED_OPS:
+        originals[name] = Tensor.__dict__[name]
+        fn, is_static = op_function(name)
+        wrapped = make_wrapper(name, fn)
+        setattr(Tensor, name, staticmethod(wrapped) if is_static else wrapped)
+    return originals
+
+
+def restore_ops(originals: dict[str, object]) -> None:
+    """Re-install the raw attributes captured by :func:`install_op_wrappers`."""
+    for name, original in originals.items():
+        setattr(Tensor, name, original)
 
 
 def register_custom_op(name: str, fn: Callable) -> None:

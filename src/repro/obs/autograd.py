@@ -102,33 +102,29 @@ def is_op_profiler_enabled() -> bool:
 def enable_op_profiler() -> None:
     """Patch the profiling hook onto every op in ``PROFILED_OPS`` (idempotent)."""
     global _enabled
-    from ..nn import tensor as tensor_module
+    from ..nn.tensor import install_op_wrappers
 
     with _lock:
         if _enabled:
             return
         _enabled = True
-    Tensor = tensor_module.Tensor
-    for name in tensor_module.PROFILED_OPS:
-        raw = Tensor.__dict__[name]
-        is_static = isinstance(raw, staticmethod)
-        fn = raw.__func__ if is_static else raw
-        _originals[name] = raw
-        wrapped = _wrap_forward(_display_name(name), fn)
-        setattr(Tensor, name, staticmethod(wrapped) if is_static else wrapped)
+    _originals.update(
+        install_op_wrappers(
+            lambda name, fn: _wrap_forward(_display_name(name), fn)
+        )
+    )
 
 
 def disable_op_profiler() -> None:
     """Restore the unpatched ops; accumulated stats are kept until reset."""
     global _enabled
-    from ..nn.tensor import Tensor
+    from ..nn.tensor import restore_ops
 
     with _lock:
         if not _enabled:
             return
         _enabled = False
-    for name, original in _originals.items():
-        setattr(Tensor, name, original)
+    restore_ops(_originals)
     _originals.clear()
 
 

@@ -1,0 +1,73 @@
+"""``repro.testing`` — reusable correctness layer for the RAPID stack.
+
+The fused recurrent kernels (PR 2) and every future hot-path rewrite carry
+hand-derived backward passes; a silent sign error or NaN there corrupts
+every downstream table without failing any assertion.  This package gives
+the test suite, the benchmarks, and future PRs one shared vocabulary for
+catching such bugs automatically:
+
+- :mod:`repro.testing.oracle` — differential-testing engine: run any
+  function/Module under the fused and composed (``REPRO_NN_FUSED=0``)
+  dispatch paths plus a central finite-difference oracle, and report
+  max-ulp / relative-error divergence as a structured diff;
+- :mod:`repro.testing.fuzz` — autograd fuzzer: seeded random programs over
+  the Tensor op vocabulary (broadcasting, slicing, reductions, the fused
+  recurrent kernels) with greedy shrinking to a minimal reproducing
+  program (``python -m repro.testing.fuzz --smoke``);
+- :mod:`repro.testing.sanitize` — opt-in numerical sanitizer hooked at the
+  same op-dispatch surface as the ``repro.obs`` profiler: traps NaN / Inf
+  / denormal outputs and out-of-range gradients mid-graph with the
+  originating op and shapes (``assert_finite()``,
+  ``assert_deterministic(seed)``);
+- :mod:`repro.testing.golden` — golden-slate regression store: snapshot
+  re-ranker outputs (permutations + scores) to ``tests/golden/*.json``
+  with tolerance-aware comparison and a ``--update-golden`` pytest flag.
+
+See ``TESTING.md`` at the repo root for the test tiers and workflows.
+"""
+
+from .golden import GoldenMismatch, GoldenStore, MissingGolden
+from .oracle import (
+    DiffReport,
+    DiffRow,
+    DivergenceError,
+    assert_equivalent,
+    check_all_kernels,
+    check_kernel,
+    compare_arrays,
+    differential_check,
+    finite_difference_grad,
+    max_ulp_diff,
+)
+from .sanitize import (
+    NumericalError,
+    assert_deterministic,
+    assert_finite,
+    disable_sanitizer,
+    enable_sanitizer,
+    is_sanitizer_enabled,
+    sanitize,
+)
+
+__all__ = [
+    "DiffReport",
+    "DiffRow",
+    "DivergenceError",
+    "GoldenMismatch",
+    "GoldenStore",
+    "MissingGolden",
+    "NumericalError",
+    "assert_deterministic",
+    "assert_equivalent",
+    "assert_finite",
+    "check_all_kernels",
+    "check_kernel",
+    "compare_arrays",
+    "differential_check",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "finite_difference_grad",
+    "is_sanitizer_enabled",
+    "max_ulp_diff",
+    "sanitize",
+]

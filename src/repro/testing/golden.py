@@ -1,0 +1,162 @@
+"""Golden-slate regression store for re-ranker outputs.
+
+Metric-level tests (``alpha-NDCG went up``) tolerate silent behavioral
+drift: a re-ranker can emit different slates with near-identical aggregate
+scores.  Golden files pin the *actual outputs* — permutations and per-item
+scores for a fixed seeded world — as JSON under ``tests/golden/``, so any
+change to slate composition is a visible, reviewable diff.
+
+Workflow (see TESTING.md):
+
+- first run / intentional behavior change::
+
+      PYTHONPATH=src python -m pytest tests/test_golden_rerankers.py --update-golden
+
+  rewrites the snapshots; commit the JSON diff alongside the code change.
+- normal runs compare against the stored snapshot: integer payloads
+  (permutations) must match exactly, float payloads (scores) to
+  ``rtol``/``atol``.  A missing snapshot raises :class:`MissingGolden`
+  with the update command; a divergence raises :class:`GoldenMismatch`
+  with a structured path-by-path diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["GoldenStore", "GoldenMismatch", "MissingGolden"]
+
+
+class MissingGolden(AssertionError):
+    """No snapshot on disk for this name (and updating is off)."""
+
+
+class GoldenMismatch(AssertionError):
+    """Stored snapshot and current payload diverge beyond tolerance."""
+
+    def __init__(self, name: str, diffs: list[str]):
+        self.name = name
+        self.diffs = diffs
+        shown = diffs[:20]
+        lines = [f"golden mismatch for {name!r} ({len(diffs)} difference(s)):"]
+        lines += [f"  {d}" for d in shown]
+        if len(diffs) > len(shown):
+            lines.append(f"  ... and {len(diffs) - len(shown)} more")
+        lines.append("if intentional, refresh with: pytest --update-golden")
+        super().__init__("\n".join(lines))
+
+
+def _canonical(value):
+    """Convert a payload to pure JSON types (numpy arrays -> nested lists)."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _canonical(value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+class GoldenStore:
+    """Read/write/compare golden snapshots in ``directory``.
+
+    ``update=True`` (the ``--update-golden`` pytest flag) rewrites
+    snapshots instead of comparing.  Floats compare with
+    ``abs(a-b) <= atol + rtol*|b|``; ints, strings, bools, and structure
+    compare exactly.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        update: bool = False,
+        rtol: float = 1e-7,
+        atol: float = 1e-9,
+    ) -> None:
+        self.directory = Path(directory)
+        self.update = update
+        self.rtol = rtol
+        self.atol = atol
+
+    def path_for(self, name: str) -> Path:
+        return self.directory / f"{name}.json"
+
+    def check(self, name: str, payload) -> None:
+        """Compare ``payload`` against the stored snapshot (or record it)."""
+        payload = _canonical(payload)
+        path = self.path_for(name)
+        if self.update:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            return
+        if not path.exists():
+            raise MissingGolden(
+                f"no golden snapshot {path}; record it with: "
+                "PYTHONPATH=src python -m pytest --update-golden "
+                "(then commit the JSON)"
+            )
+        stored = json.loads(path.read_text(encoding="utf-8"))
+        diffs: list[str] = []
+        self._diff(stored, payload, "$", diffs)
+        if diffs:
+            raise GoldenMismatch(name, diffs)
+
+    def _diff(self, stored, current, path: str, diffs: list[str]) -> None:
+        if isinstance(stored, dict) or isinstance(current, dict):
+            if not (isinstance(stored, dict) and isinstance(current, dict)):
+                diffs.append(f"{path}: type {type(stored).__name__} != "
+                             f"{type(current).__name__}")
+                return
+            for key in sorted(set(stored) | set(current)):
+                if key not in stored:
+                    diffs.append(f"{path}.{key}: only in current payload")
+                elif key not in current:
+                    diffs.append(f"{path}.{key}: only in stored golden")
+                else:
+                    self._diff(stored[key], current[key], f"{path}.{key}", diffs)
+            return
+        if isinstance(stored, list) or isinstance(current, list):
+            if not (isinstance(stored, list) and isinstance(current, list)):
+                diffs.append(f"{path}: type {type(stored).__name__} != "
+                             f"{type(current).__name__}")
+                return
+            if len(stored) != len(current):
+                diffs.append(f"{path}: length {len(stored)} != {len(current)}")
+                return
+            for i, (s, c) in enumerate(zip(stored, current)):
+                self._diff(s, c, f"{path}[{i}]", diffs)
+            return
+        # bool is an int subclass: compare exactly and before the float branch.
+        if isinstance(stored, bool) or isinstance(current, bool):
+            if stored is not current:
+                diffs.append(f"{path}: {stored!r} != {current!r}")
+            return
+        if isinstance(stored, float) or isinstance(current, float):
+            if not (isinstance(stored, (int, float))
+                    and isinstance(current, (int, float))):
+                diffs.append(f"{path}: {stored!r} != {current!r}")
+                return
+            a, b = float(stored), float(current)
+            if a != b:  # covers NaN != NaN -> flagged, and exact matches
+                if np.isnan(a) and np.isnan(b):
+                    return
+                if abs(a - b) > self.atol + self.rtol * abs(b):
+                    diffs.append(
+                        f"{path}: {a!r} != {b!r} "
+                        f"(abs err {abs(a - b):.3e} > tol)"
+                    )
+            return
+        if stored != current:
+            diffs.append(f"{path}: {stored!r} != {current!r}")

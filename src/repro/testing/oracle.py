@@ -1,0 +1,334 @@
+"""Differential-testing engine for the autograd stack.
+
+The engine answers one question about any differentiable computation: do
+the fused dispatch path, the composed (``REPRO_NN_FUSED=0``) path, and a
+central finite-difference oracle agree on its values and gradients?  Each
+comparison produces a :class:`DiffRow` (max absolute / relative error and
+max ULP distance) and the rows roll up into a :class:`DiffReport` — a
+structured diff that names the op and the quantity that diverged, which is
+what turns "the loss is wrong" into "``lstm_cell_fused`` backward, input
+``gates``, 3.2e-1 relative error".
+
+The fused kernels register their own randomized test cases in
+``repro.nn.kernels.ORACLE_CASES``; :func:`check_all_kernels` replays them
+all, so any new fused op is covered by adding one registration next to its
+definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.kernels import use_fused
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "DiffRow",
+    "DiffReport",
+    "DivergenceError",
+    "max_ulp_diff",
+    "compare_arrays",
+    "finite_difference_grad",
+    "differential_check",
+    "assert_equivalent",
+    "check_kernel",
+    "check_all_kernels",
+]
+
+
+class DivergenceError(AssertionError):
+    """Raised when two execution paths disagree beyond tolerance."""
+
+
+def max_ulp_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Maximum ULP (units in the last place) distance between two arrays.
+
+    Uses the monotonic int64 reinterpretation of IEEE-754 doubles, so the
+    distance counts representable floats between the values.  Returns
+    ``inf`` when NaNs/Infs are present in only one of the arrays (or at
+    different positions), and 0 for bitwise-equal arrays.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        return float("inf")
+    bad_a = ~np.isfinite(a)
+    bad_b = ~np.isfinite(b)
+    if bad_a.any() or bad_b.any():
+        # NaN/Inf only match when bit-identical in both arrays.
+        if (bad_a != bad_b).any() or not np.array_equal(
+            a[bad_a].view(np.int64), b[bad_b].view(np.int64)
+        ):
+            return float("inf")
+    mask = np.int64(0x7FFFFFFFFFFFFFFF)
+    bits_a = np.ascontiguousarray(a).view(np.int64)
+    bits_b = np.ascontiguousarray(b).view(np.int64)
+    order_a = np.where(bits_a < 0, bits_a ^ mask, bits_a)
+    order_b = np.where(bits_b < 0, bits_b ^ mask, bits_b)
+    good = np.isfinite(a)
+    if not good.any():
+        return 0.0
+    order_a, order_b = order_a[good], order_b[good]
+    # Same-sign orders subtract exactly in int64 (no overflow possible);
+    # opposite signs could overflow, but there the distance is astronomical
+    # anyway, so float64 rounding on |a| + |b| is harmless.  Subtracting
+    # *before* any float cast is what keeps 1-ULP gaps between large
+    # orders (|order| > 2**53) exact.
+    same_sign = (order_a >= 0) == (order_b >= 0)
+    diff = np.where(
+        same_sign,
+        np.abs(order_a - order_b).astype(np.float64),
+        np.abs(order_a.astype(np.float64)) + np.abs(order_b.astype(np.float64)),
+    )
+    return float(diff.max())
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One compared quantity (an output or a gradient) of a divergence check."""
+
+    quantity: str
+    shape: tuple[int, ...]
+    max_abs_err: float
+    max_rel_err: float
+    max_ulp: float
+    rtol: float
+    atol: float
+    ok: bool
+
+    def format(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        return (
+            f"{status} {self.quantity:<28s} shape={str(self.shape):<14s} "
+            f"abs={self.max_abs_err:.3e} rel={self.max_rel_err:.3e} "
+            f"ulp={self.max_ulp:.3g} (rtol={self.rtol:g}, atol={self.atol:g})"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Structured diff produced by :func:`differential_check`."""
+
+    name: str
+    rows: list[DiffRow] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    @property
+    def failures(self) -> list[DiffRow]:
+        return [row for row in self.rows if not row.ok]
+
+    @property
+    def worst(self) -> DiffRow | None:
+        """The failing row with the largest relative error (None if passing)."""
+        failures = self.failures
+        if not failures:
+            return None
+        return max(failures, key=lambda row: row.max_rel_err)
+
+    def format(self) -> str:
+        header = f"differential check {self.name!r}: " + (
+            "PASS" if self.passed else f"{len(self.failures)} divergence(s)"
+        )
+        return "\n".join([header] + ["  " + row.format() for row in self.rows])
+
+
+def compare_arrays(
+    quantity: str,
+    a: np.ndarray | None,
+    b: np.ndarray | None,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> DiffRow:
+    """Compare two arrays into a :class:`DiffRow` (``None`` matches ``None``)."""
+    if a is None or b is None:
+        ok = a is None and b is None
+        return DiffRow(quantity, (), 0.0 if ok else float("inf"),
+                       0.0 if ok else float("inf"),
+                       0.0 if ok else float("inf"), rtol, atol, ok)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        return DiffRow(quantity, a.shape, float("inf"), float("inf"),
+                       float("inf"), rtol, atol, False)
+    abs_err = np.abs(a - b)
+    denom = np.maximum(np.maximum(np.abs(a), np.abs(b)), np.finfo(np.float64).tiny)
+    with np.errstate(invalid="ignore"):
+        rel_err = abs_err / denom
+    finite = np.isfinite(a) & np.isfinite(b)
+    max_abs = float(abs_err[finite].max()) if finite.any() else 0.0
+    max_rel = float(rel_err[finite].max()) if finite.any() else 0.0
+    within = abs_err <= atol + rtol * denom
+    ok = bool(within[finite].all()) if finite.any() else True
+    ulp = max_ulp_diff(a, b)
+    if (~finite).any() and ulp == float("inf"):
+        ok = False  # NaN/Inf present in one path but not (identically) the other
+    return DiffRow(quantity, a.shape, max_abs, max_rel, ulp, rtol, atol, ok)
+
+
+def finite_difference_grad(
+    fn: Callable[..., float],
+    arrays: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite differences of scalar ``fn(*arrays)`` wrt ``arrays[index]``."""
+    arrays = [np.array(a, dtype=np.float64, copy=True) for a in arrays]
+    target = arrays[index]
+    grad = np.zeros_like(target)
+    flat = target.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*arrays))
+        flat[i] = original - eps
+        minus = float(fn(*arrays))
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def _run(
+    fn: Callable[..., Tensor | tuple[Tensor, ...]],
+    arrays: Sequence[np.ndarray],
+    fused: bool,
+) -> tuple[list[np.ndarray], list[np.ndarray | None]]:
+    """Evaluate ``fn`` under one dispatch path; return outputs and grads.
+
+    The scalar objective backpropagated is the sum of all outputs, so a
+    single pass yields a comparable gradient for every input.
+    """
+    tensors = [Tensor(np.array(a, dtype=np.float64, copy=True), requires_grad=True)
+               for a in arrays]
+    with use_fused(fused):
+        out = fn(*tensors)
+    outputs = list(out) if isinstance(out, tuple) else [out]
+    loss = outputs[0].sum()
+    for extra in outputs[1:]:
+        loss = loss + extra.sum()
+    loss.backward()
+    return (
+        [np.array(o.data, copy=True) for o in outputs],
+        [None if t.grad is None else np.array(t.grad, copy=True) for t in tensors],
+    )
+
+
+def differential_check(
+    fn: Callable[..., Tensor | tuple[Tensor, ...]],
+    arrays: Sequence[np.ndarray],
+    name: str = "fn",
+    input_names: Sequence[str] | None = None,
+    forward_rtol: float = 0.0,
+    forward_atol: float = 0.0,
+    grad_rtol: float = 1e-9,
+    grad_atol: float = 1e-11,
+    fd: bool = True,
+    fd_eps: float = 1e-6,
+    fd_rtol: float = 1e-3,
+    fd_atol: float = 1e-5,
+) -> DiffReport:
+    """Run ``fn`` under fused and composed dispatch plus a finite-difference oracle.
+
+    ``fn`` receives one ``Tensor`` per entry of ``arrays`` and returns a
+    tensor (or tuple of tensors); the objective compared is the sum of all
+    outputs.  Three comparisons feed the report:
+
+    - ``forward[...]`` — fused vs composed output values.  The default
+      zero tolerances assert *bitwise* equality, which the fused kernels
+      guarantee by construction (DESIGN.md §7);
+    - ``grad[...] fused-vs-composed`` — analytic gradients of both paths
+      (tight, but not bitwise: backward summation order differs);
+    - ``grad[...] fused-vs-fd`` — fused-path gradients against central
+      finite differences, an oracle independent of both graph
+      implementations (loose: FD truncation error).
+    """
+    input_names = list(input_names) if input_names is not None else [
+        f"x{i}" for i in range(len(arrays))
+    ]
+    report = DiffReport(name)
+    fused_out, fused_grads = _run(fn, arrays, fused=True)
+    composed_out, composed_grads = _run(fn, arrays, fused=False)
+    for i, (a, b) in enumerate(zip(fused_out, composed_out)):
+        label = "forward" if len(fused_out) == 1 else f"forward[{i}]"
+        report.rows.append(compare_arrays(label, a, b, forward_rtol, forward_atol))
+    for label, a, b in zip(input_names, fused_grads, composed_grads):
+        report.rows.append(
+            compare_arrays(f"grad[{label}] fused-vs-composed", a, b,
+                           grad_rtol, grad_atol)
+        )
+    if fd:
+        def objective(*raw: np.ndarray) -> float:
+            outs, _ = _run_forward_only(fn, raw)
+            return sum(float(o.sum()) for o in outs)
+
+        for i, label in enumerate(input_names):
+            if fused_grads[i] is None:
+                continue
+            numeric = finite_difference_grad(objective, arrays, i, eps=fd_eps)
+            report.rows.append(
+                compare_arrays(f"grad[{label}] fused-vs-fd",
+                               fused_grads[i], numeric, fd_rtol, fd_atol)
+            )
+    return report
+
+
+def _run_forward_only(
+    fn: Callable[..., Tensor | tuple[Tensor, ...]],
+    arrays: Sequence[np.ndarray],
+) -> tuple[list[np.ndarray], None]:
+    """Forward values of ``fn`` on the fused path without building a graph."""
+    from ..nn.tensor import no_grad
+
+    tensors = [Tensor(a) for a in arrays]
+    with no_grad(), use_fused(True):
+        out = fn(*tensors)
+    outputs = list(out) if isinstance(out, tuple) else [out]
+    return [o.data for o in outputs], None
+
+
+def assert_equivalent(
+    fn: Callable[..., Tensor | tuple[Tensor, ...]],
+    arrays: Sequence[np.ndarray],
+    name: str = "fn",
+    **tolerances,
+) -> DiffReport:
+    """:func:`differential_check`, raising :class:`DivergenceError` on failure."""
+    report = differential_check(fn, arrays, name=name, **tolerances)
+    if not report.passed:
+        raise DivergenceError(report.format())
+    return report
+
+
+def check_kernel(name: str, seed: int = 0, **tolerances) -> DiffReport:
+    """Run the registered oracle case for one fused kernel.
+
+    Cases are registered in ``repro.nn.kernels.ORACLE_CASES`` next to the
+    kernels themselves; ``seed`` feeds the case's input generator.
+    """
+    from ..nn.kernels import ORACLE_CASES
+
+    if name not in ORACLE_CASES:
+        raise KeyError(
+            f"no oracle case registered for {name!r}; "
+            f"known: {sorted(ORACLE_CASES)}"
+        )
+    fn, arrays, input_names = ORACLE_CASES[name](np.random.default_rng(seed))
+    return differential_check(
+        fn, arrays, name=name, input_names=input_names, **tolerances
+    )
+
+
+def check_all_kernels(seed: int = 0, **tolerances) -> dict[str, DiffReport]:
+    """Replay every registered kernel oracle case; returns reports by name."""
+    from ..nn.kernels import ORACLE_CASES
+
+    return {
+        name: check_kernel(name, seed=seed, **tolerances)
+        for name in sorted(ORACLE_CASES)
+    }

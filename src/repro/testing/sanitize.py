@@ -1,0 +1,311 @@
+"""Opt-in numerical sanitizer for the autograd op-dispatch surface.
+
+A NaN born inside a softmax three layers deep surfaces as "the final loss
+is NaN" — every op between cause and symptom is a suspect.  The sanitizer
+hooks the same dispatch point as the ``repro.obs`` op profiler (every op in
+:data:`repro.nn.tensor.PROFILED_OPS`, including registered custom/fused
+kernels) and inspects each op's forward outputs and each backward closure's
+incoming gradient.  The *first* offending value raises
+:class:`NumericalError` naming the originating op, the phase, the kind of
+trap (nan / inf / denormal / grad magnitude), and the offending shape — so
+the blast site, not the crater, is in the traceback.
+
+Strictly opt-in: nothing is patched at import time and the disabled-path
+cost is zero (gated by ``benchmarks/bench_sanitizer_overhead.py``).
+Usage::
+
+    with sanitize():                     # trap NaN/Inf mid-graph
+        loss = model(batch); loss.backward()
+
+    with assert_finite():                # alias with assertion framing
+        metrics = evaluate(model, world)
+
+    with assert_deterministic(seed=0):   # bitwise run-to-run reproducibility
+        train(model, world)              # first run records, later runs compare
+
+Each trap also increments the ``sanitizer.traps{op=,kind=}`` counter and
+emits a ``sanitizer.trap`` run-log event before raising, so observability
+pipelines see the event even when the exception is swallowed upstream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "NumericalError",
+    "SanitizerConfig",
+    "enable_sanitizer",
+    "disable_sanitizer",
+    "is_sanitizer_enabled",
+    "sanitize",
+    "assert_finite",
+    "assert_deterministic",
+    "reset_determinism_fingerprints",
+]
+
+
+class NumericalError(FloatingPointError):
+    """A trapped numerical anomaly, annotated with its originating op.
+
+    Attributes mirror the message so tests and tooling can assert on the
+    trap structurally instead of parsing strings.
+    """
+
+    def __init__(self, op: str, phase: str, kind: str, shape: tuple, detail: str):
+        self.op = op
+        self.phase = phase
+        self.kind = kind
+        self.shape = shape
+        self.detail = detail
+        super().__init__(
+            f"numerical sanitizer trapped {kind} in {phase} of op "
+            f"{op!r} (shape={shape}): {detail}"
+        )
+
+
+class SanitizerConfig:
+    """What the sanitizer traps.  NaN and Inf are always trapped."""
+
+    def __init__(
+        self,
+        trap_denormal: bool = False,
+        max_grad: float | None = None,
+    ) -> None:
+        self.trap_denormal = trap_denormal
+        self.max_grad = max_grad
+
+
+_lock = threading.Lock()
+_originals: dict[str, object] = {}
+_enabled = False
+_config = SanitizerConfig()
+# assert_deterministic: seed -> recorded fingerprint from the first run.
+_fingerprints: dict[int, str] = {}
+
+
+def is_sanitizer_enabled() -> bool:
+    return _enabled
+
+
+def _trap(op: str, phase: str, kind: str, array: np.ndarray, detail: str) -> None:
+    """Record the trap in obs, then raise."""
+    from ..obs.metrics import get_registry
+    from ..obs.runlog import get_run_logger
+
+    shape = tuple(np.shape(array))
+    get_registry().counter("sanitizer.traps", op=op, kind=kind).inc()
+    logger = get_run_logger()
+    if logger.active:
+        logger.log(
+            "sanitizer.trap", op=op, phase=phase, kind=kind,
+            shape=list(shape), detail=detail,
+        )
+    raise NumericalError(op, phase, kind, shape, detail)
+
+
+def _check_array(op: str, phase: str, value, config: SanitizerConfig) -> None:
+    data = np.asarray(value)
+    if not np.issubdtype(data.dtype, np.floating):
+        return
+    if np.isnan(data).any():
+        count = int(np.isnan(data).sum())
+        _trap(op, phase, "nan", data, f"{count}/{data.size} element(s) NaN")
+    if np.isinf(data).any():
+        count = int(np.isinf(data).sum())
+        _trap(op, phase, "inf", data, f"{count}/{data.size} element(s) Inf")
+    if config.trap_denormal and data.size:
+        finite = data[np.isfinite(data)]
+        nonzero = finite[finite != 0.0]
+        if nonzero.size:
+            tiny = np.finfo(data.dtype).tiny
+            denormal = np.abs(nonzero) < tiny
+            if denormal.any():
+                _trap(
+                    op, phase, "denormal", data,
+                    f"{int(denormal.sum())} subnormal element(s), "
+                    f"min |x| = {float(np.abs(nonzero).min()):.3e}",
+                )
+    if phase == "backward" and config.max_grad is not None and data.size:
+        peak = float(np.abs(data).max())
+        if peak > config.max_grad:
+            _trap(
+                op, phase, "grad_magnitude", data,
+                f"max |grad| = {peak:.3e} exceeds limit {config.max_grad:.3e}",
+            )
+
+
+def _wrap_op(name: str, fn):
+    from ..nn.tensor import Tensor
+
+    op = name.strip("_")
+
+    def _hook(result) -> None:
+        if not isinstance(result, Tensor):
+            return
+        _check_array(op, "forward", result.data, _config)
+        inner = result._backward
+        if inner is not None and not getattr(inner, "_sanitized", False):
+
+            parents = result._parents
+
+            def sanitized_backward(grad):
+                # Module-level re-check: graphs built while enabled may run
+                # backward after disable (or vice versa); the flag, not the
+                # closure's build-time state, decides.
+                if _enabled:
+                    _check_array(op, "backward", grad, _config)
+                inner(grad)
+                if _enabled:
+                    # Grads this op *produced*: leaf parents never run a
+                    # wrapped closure of their own, so inspect what was
+                    # just accumulated into them.
+                    for parent in parents:
+                        if parent.grad is not None:
+                            _check_array(op, "backward", parent.grad, _config)
+
+            sanitized_backward._sanitized = True
+            result._backward = sanitized_backward
+
+    def sanitized(*args, **kwargs):
+        out = fn(*args, **kwargs)
+        if _enabled:
+            if isinstance(out, tuple):
+                for element in out:
+                    _hook(element)
+            else:
+                _hook(out)
+        return out
+
+    sanitized._sanitizer_op = op
+    sanitized._sanitizer_original = fn
+    return sanitized
+
+
+def enable_sanitizer(
+    trap_denormal: bool = False,
+    max_grad: float | None = None,
+) -> None:
+    """Patch the trap hook onto every op in ``PROFILED_OPS`` (idempotent).
+
+    ``trap_denormal`` additionally traps subnormal (gradual-underflow)
+    outputs — a leading indicator of vanishing signals.  ``max_grad`` traps
+    any backward gradient whose magnitude exceeds the limit (exploding
+    gradients) before it propagates further.
+    """
+    global _enabled, _config
+    from ..nn.tensor import install_op_wrappers
+
+    with _lock:
+        _config = SanitizerConfig(trap_denormal=trap_denormal, max_grad=max_grad)
+        if _enabled:
+            return
+        _enabled = True
+    _originals.update(install_op_wrappers(_wrap_op))
+
+
+def disable_sanitizer() -> None:
+    """Restore the unpatched ops (idempotent)."""
+    global _enabled
+    from ..nn.tensor import restore_ops
+
+    with _lock:
+        if not _enabled:
+            return
+        _enabled = False
+    restore_ops(_originals)
+    _originals.clear()
+
+
+@contextmanager
+def sanitize(trap_denormal: bool = False, max_grad: float | None = None):
+    """Enable the sanitizer for a block; restores the prior state on exit."""
+    was_enabled = _enabled
+    enable_sanitizer(trap_denormal=trap_denormal, max_grad=max_grad)
+    try:
+        yield
+    finally:
+        if not was_enabled:
+            disable_sanitizer()
+
+
+@contextmanager
+def assert_finite():
+    """Assert no op in the block produces NaN/Inf forward or backward.
+
+    Alias of :func:`sanitize` with default traps, named for test intent:
+    ``with assert_finite(): evaluate(model, world)``.
+    """
+    with sanitize():
+        yield
+
+
+def reset_determinism_fingerprints() -> None:
+    """Forget recorded :func:`assert_deterministic` fingerprints."""
+    _fingerprints.clear()
+
+
+@contextmanager
+def assert_deterministic(seed: int):
+    """Assert the block's op-level outputs are bitwise run-to-run identical.
+
+    Every op output inside the block is folded into a rolling SHA-1 over
+    its raw bytes (shape + dtype + data).  The first block executed with a
+    given ``seed`` records the fingerprint; later blocks with the same seed
+    compare and raise :class:`NumericalError` (kind ``nondeterminism``) on
+    mismatch.  Use around a seeded train/eval run to prove the whole
+    computation — not just the final metric — is reproducible::
+
+        for attempt in range(2):
+            np.random.seed(0)
+            with assert_deterministic(seed=0):
+                run_training(config)
+    """
+    from ..nn.tensor import Tensor, install_op_wrappers, restore_ops
+
+    digest = hashlib.sha1()
+
+    def _fold(result) -> None:
+        if not isinstance(result, Tensor):
+            return
+        data = np.ascontiguousarray(result.data)
+        digest.update(str(data.shape).encode())
+        digest.update(str(data.dtype).encode())
+        digest.update(data.tobytes())
+
+    def make_wrapper(name: str, fn):
+        def fingerprinted(*args, **kwargs):
+            out = fn(*args, **kwargs)
+            if isinstance(out, tuple):
+                for element in out:
+                    _fold(element)
+            else:
+                _fold(out)
+            return out
+
+        return fingerprinted
+
+    if _enabled:
+        raise RuntimeError(
+            "assert_deterministic cannot nest inside an active sanitizer "
+            "(both patch the op-dispatch surface); disable one of them"
+        )
+    originals = install_op_wrappers(make_wrapper)
+    try:
+        yield
+    finally:
+        restore_ops(originals)
+    fingerprint = digest.hexdigest()
+    previous = _fingerprints.get(seed)
+    if previous is None:
+        _fingerprints[seed] = fingerprint
+    elif previous != fingerprint:
+        raise NumericalError(
+            "<run>", "replay", "nondeterminism", (),
+            f"op-stream fingerprint {fingerprint[:12]} != recorded "
+            f"{previous[:12]} for seed {seed}",
+        )

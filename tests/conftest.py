@@ -1,6 +1,8 @@
-"""Shared fixtures: tiny worlds and experiment bundles (session-scoped)."""
+"""Shared fixtures: tiny worlds, experiment bundles, and the golden store."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -8,6 +10,37 @@ import pytest
 from repro.core.trainer import TrainConfig
 from repro.data import make_appstore_world, make_movielens_world, make_taobao_world
 from repro.eval import ExperimentConfig, prepare_bundle
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots instead of comparing",
+    )
+
+
+@pytest.fixture(scope="session")
+def golden_store(request):
+    from repro.testing import GoldenStore
+
+    return GoldenStore(GOLDEN_DIR, update=request.config.getoption("--update-golden"))
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_rng():
+    """Insulate tests from each other's use of the legacy global RNG.
+
+    Several components accept seeds but some tests reach for np.random
+    directly; saving/restoring the global state keeps test outcomes
+    independent of execution order (and of -m / -k selection).
+    """
+    state = np.random.get_state()
+    yield
+    np.random.set_state(state)
 
 
 @pytest.fixture(scope="session")

@@ -149,7 +149,10 @@ class TestAppStorePipeline:
 
 
 class TestAlternativeInitialRankers:
-    @pytest.mark.parametrize("ranker", ["svmrank", "lambdamart"])
+    @pytest.mark.parametrize(
+        "ranker",
+        ["svmrank", pytest.param("lambdamart", marks=pytest.mark.slow)],
+    )
     def test_pipeline_with_ranker(self, ranker):
         config = ExperimentConfig(
             dataset="taobao",

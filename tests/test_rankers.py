@@ -63,7 +63,9 @@ class TestPointwiseFeatures:
     "make_ranker",
     [
         lambda: SVMRankRanker(epochs=3, seed=0),
-        lambda: LambdaMARTRanker(num_trees=8),
+        pytest.param(
+            lambda: LambdaMARTRanker(num_trees=8), marks=pytest.mark.slow
+        ),
         lambda: DINRanker(epochs=2, seed=0),
     ],
     ids=["svmrank", "lambdamart", "din"],

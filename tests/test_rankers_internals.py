@@ -65,7 +65,12 @@ class TestDINInternals:
 class TestRankContract:
     @pytest.mark.parametrize(
         "make_ranker",
-        [lambda: SVMRankRanker(epochs=2), lambda: LambdaMARTRanker(num_trees=4)],
+        [
+            lambda: SVMRankRanker(epochs=2),
+            pytest.param(
+                lambda: LambdaMARTRanker(num_trees=4), marks=pytest.mark.slow
+            ),
+        ],
         ids=["svmrank", "lambdamart"],
     )
     def test_rank_returns_permuted_candidates(self, taobao_world, make_ranker):

@@ -1,0 +1,56 @@
+"""Smoke-test wiring for ``benchmarks/bench_sanitizer_overhead.py``.
+
+Runs the microbenchmark's machinery and checks structure only — no
+wall-clock assertions, so the suite stays deterministic on busy machines.
+The real <5% disabled-residue gate runs via
+``python benchmarks/bench_sanitizer_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.testing import is_sanitizer_enabled
+
+_BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    sys.path.insert(0, str(_BENCH_DIR))  # for its `from bench_utils import ...`
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "bench_sanitizer_overhead", _BENCH_DIR / "bench_sanitizer_overhead.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(_BENCH_DIR))
+
+
+@pytest.mark.bench
+@pytest.mark.slow
+def test_measure_reports_structure_and_restores_state(bench):
+    result = bench.measure()
+    assert set(result) == {
+        "baseline_ms_per_batch",
+        "disabled_ms_per_batch",
+        "enabled_ms_per_batch",
+        "disabled_overhead_fraction",
+        "enabled_overhead_fraction",
+    }
+    assert result["baseline_ms_per_batch"] > 0.0
+    assert result["enabled_ms_per_batch"] > 0.0
+    assert np.isfinite(result["disabled_overhead_fraction"])
+    # The bench must leave the process unpatched for the rest of the suite.
+    assert not is_sanitizer_enabled()
+
+
+def test_budget_constant_is_five_percent(bench):
+    assert bench.MAX_DISABLED_OVERHEAD == pytest.approx(0.05)

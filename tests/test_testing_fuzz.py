@@ -1,0 +1,113 @@
+"""Autograd fuzzer: determinism, smoke tier, shrinking, bug localization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.testing.fuzz import (
+    OP_VOCABULARY,
+    OpCall,
+    Program,
+    build_function,
+    check_program,
+    fuzz,
+    generate_program,
+    main,
+    shrink,
+)
+
+
+class TestGeneration:
+    def test_generation_is_a_pure_function_of_the_seed(self):
+        assert generate_program(7) == generate_program(7)
+        assert generate_program(7) != generate_program(8)
+
+    def test_inputs_and_constants_are_seed_deterministic(self):
+        program = generate_program(3)
+        _, arrays_a = build_function(program)
+        _, arrays_b = build_function(program)
+        assert (arrays_a[0] == arrays_b[0]).all()
+
+    def test_no_recurrent_flag_excludes_macro_ops(self):
+        for seed in range(50):
+            program = generate_program(seed, include_recurrent=False)
+            names = {op.name for op in program.ops}
+            assert not names & {"lstm_cell", "gru_cell", "lstm_scan", "gru_scan"}
+
+
+class TestSingleOpPrograms:
+    """Every vocabulary op passes the oracle in isolation — the base case
+    the fuzzer's compositions build on."""
+
+    @pytest.mark.parametrize("name", sorted(OP_VOCABULARY))
+    def test_op_passes_differential_check(self, name):
+        program = Program(seed=11, shape=(2, 3), ops=(OpCall(name, 1),))
+        report = check_program(program)
+        assert report.passed, report.format()
+
+
+class TestSmokeTier:
+    def test_200_seeded_programs_pass(self):
+        failures = fuzz(count=200, seed_base=0)
+        details = "\n\n".join(f.format() for f in failures)
+        assert not failures, f"{len(failures)} fuzz failure(s):\n{details}"
+
+    def test_cli_smoke_exit_code(self, capsys):
+        assert main(["--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "200 random programs" in out
+
+
+class TestShrinking:
+    def _inject_lstm_bug(self, monkeypatch):
+        real = Tensor.__dict__["lstm_cell_fused"].__func__
+
+        def buggy(*args, **kwargs):
+            h, c = real(*args, **kwargs)
+            inner = h._backward
+            if inner is not None:
+
+                def flipped(grad):
+                    inner(-grad)
+
+                h._backward = flipped
+            return h, c
+
+        monkeypatch.setattr(Tensor, "lstm_cell_fused", staticmethod(buggy))
+
+    def test_shrink_finds_minimal_program_for_injected_bug(self, monkeypatch):
+        self._inject_lstm_bug(monkeypatch)
+        program = Program(
+            seed=5,
+            shape=(2, 3),
+            ops=(
+                OpCall("tanh"),
+                OpCall("add_broadcast", 2),
+                OpCall("lstm_cell", 0),
+                OpCall("tanh"),
+                OpCall("mean", 1),
+            ),
+        )
+        assert not check_program(program).passed
+        shrunken = shrink(program)
+        # 1-minimal: exactly the broken op survives.
+        assert [op.name for op in shrunken.ops] == ["lstm_cell"]
+        assert not check_program(shrunken).passed
+
+    def test_fuzz_reports_shrunken_failures(self, monkeypatch):
+        self._inject_lstm_bug(monkeypatch)
+        failures = fuzz(count=30, seed_base=0)
+        assert failures, "injected kernel bug escaped 30 fuzz programs"
+        for failure in failures:
+            names = [op.name for op in failure.shrunken.ops]
+            assert "lstm_cell" in names or "lstm_scan" in names
+            assert len(names) <= len(failure.program.ops)
+            assert not failure.shrunken_report.passed
+
+    def test_shrink_keeps_a_passing_program_intact(self):
+        program = generate_program(2)
+        assert check_program(program).passed
+        # A passing program has no failing subsequence to find.
+        shrunken = shrink(program, is_failing=lambda p: not check_program(p).passed)
+        assert shrunken == program

@@ -1,0 +1,77 @@
+"""GoldenStore: record/compare semantics, tolerances, structured diffs."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.testing import GoldenMismatch, GoldenStore, MissingGolden
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return GoldenStore(tmp_path, update=False)
+
+
+@pytest.fixture()
+def recorder(tmp_path):
+    return GoldenStore(tmp_path, update=True)
+
+
+class TestRecording:
+    def test_update_writes_canonical_json(self, recorder):
+        recorder.check("case", {"perm": np.array([2, 0, 1]), "score": np.float64(0.5)})
+        stored = json.loads(recorder.path_for("case").read_text())
+        assert stored == {"perm": [2, 0, 1], "score": 0.5}
+
+    def test_missing_snapshot_tells_how_to_record(self, store):
+        with pytest.raises(MissingGolden, match="--update-golden"):
+            store.check("absent", {"x": 1})
+
+
+class TestComparison:
+    def test_identical_payload_passes(self, recorder, store):
+        payload = {"perm": [[1, 0], [0, 1]], "scores": [0.25, 0.75]}
+        recorder.check("case", payload)
+        store.check("case", payload)
+
+    def test_float_drift_within_tolerance_passes(self, recorder, store):
+        recorder.check("case", {"s": 1.0})
+        store.check("case", {"s": 1.0 + 1e-12})
+
+    def test_float_drift_beyond_tolerance_fails(self, recorder, store):
+        recorder.check("case", {"s": 1.0})
+        with pytest.raises(GoldenMismatch, match=r"\$\.s"):
+            store.check("case", {"s": 1.001})
+
+    def test_permutation_change_is_exact_mismatch(self, recorder, store):
+        recorder.check("case", {"perm": [0, 1, 2]})
+        with pytest.raises(GoldenMismatch, match=r"perm\[1\]"):
+            store.check("case", {"perm": [0, 2, 1]})
+
+    def test_structure_changes_are_reported_per_path(self, recorder, store):
+        recorder.check("case", {"a": 1, "b": [1, 2]})
+        with pytest.raises(GoldenMismatch) as excinfo:
+            store.check("case", {"a": 1, "b": [1, 2, 3], "c": 0})
+        message = str(excinfo.value)
+        assert "$.b: length 2 != 3" in message
+        assert "$.c: only in current payload" in message
+
+    def test_bool_is_not_coerced_to_float(self, recorder, store):
+        recorder.check("case", {"flag": True})
+        with pytest.raises(GoldenMismatch):
+            store.check("case", {"flag": 1})
+
+    def test_nan_matches_nan(self, recorder, store):
+        recorder.check("case", {"s": float("nan")})
+        stored = json.loads(recorder.path_for("case").read_text())
+        assert stored  # NaN survives the json round-trip as NaN literal
+        store.check("case", {"s": float("nan")})
+
+    def test_mismatch_lists_every_divergent_path(self, recorder, store):
+        recorder.check("case", {"a": [1, 2], "b": 3.0})
+        with pytest.raises(GoldenMismatch) as excinfo:
+            store.check("case", {"a": [9, 2], "b": 4.0})
+        assert len(excinfo.value.diffs) == 2

@@ -1,0 +1,180 @@
+"""Numerical sanitizer: trap semantics, obs integration, determinism checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.obs.metrics import get_registry, reset_registry
+from repro.obs.runlog import MemorySink, RunLogger, set_run_logger
+from repro.testing import (
+    NumericalError,
+    assert_deterministic,
+    assert_finite,
+    disable_sanitizer,
+    enable_sanitizer,
+    is_sanitizer_enabled,
+    sanitize,
+)
+from repro.testing.sanitize import reset_determinism_fingerprints
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_teardown():
+    yield
+    disable_sanitizer()
+    reset_determinism_fingerprints()
+
+
+class TestForwardTraps:
+    def test_nan_output_names_originating_op(self):
+        with pytest.raises(NumericalError) as excinfo, sanitize():
+            t = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+            with np.errstate(invalid="ignore"):
+                t.log()
+        err = excinfo.value
+        assert err.op == "log"
+        assert err.phase == "forward"
+        assert err.kind == "nan"
+        assert err.shape == (2,)
+
+    def test_inf_output_is_trapped(self):
+        with pytest.raises(NumericalError) as excinfo, sanitize():
+            t = Tensor(np.array([1e300]), requires_grad=True)
+            with np.errstate(over="ignore"):
+                t * 1e300
+        assert excinfo.value.kind == "inf"
+        assert excinfo.value.op == "mul"
+
+    def test_denormal_trap_is_opt_in(self):
+        t = Tensor(np.array([1e-310]), requires_grad=True)
+        with sanitize():  # denormals allowed by default
+            t * 1.0
+        with pytest.raises(NumericalError) as excinfo, sanitize(trap_denormal=True):
+            t * 1.0
+        assert excinfo.value.kind == "denormal"
+
+    def test_clean_graph_passes_untouched(self):
+        with assert_finite():
+            t = Tensor(np.ones((3, 2)), requires_grad=True)
+            loss = (t @ Tensor(np.ones((2, 4)))).tanh().sum()
+            loss.backward()
+        assert t.grad is not None
+        assert np.isfinite(t.grad).all()
+
+
+class TestBackwardTraps:
+    def test_exploding_gradient_into_leaf_is_trapped(self):
+        with pytest.raises(NumericalError) as excinfo, sanitize(max_grad=10.0):
+            t = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+            (t * 100.0).sum().backward()
+        err = excinfo.value
+        assert err.phase == "backward"
+        assert err.kind == "grad_magnitude"
+        assert err.op == "mul"
+
+    def test_gradient_under_limit_passes(self):
+        with sanitize(max_grad=10.0):
+            t = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+            (t * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 2.0])
+
+    def test_graph_built_inside_backward_outside_is_not_checked(self):
+        # The op hook is gone after the context exits, but the wrapped
+        # closure survives in the graph; the module flag gates it off.
+        with sanitize(max_grad=1.0):
+            t = Tensor(np.array([2.0]), requires_grad=True)
+            out = (t * 100.0).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [100.0])
+
+
+class TestLifecycle:
+    def test_enable_disable_restores_ops(self):
+        original = Tensor.__dict__["tanh"]
+        enable_sanitizer()
+        assert is_sanitizer_enabled()
+        assert Tensor.__dict__["tanh"] is not original
+        disable_sanitizer()
+        assert not is_sanitizer_enabled()
+        assert Tensor.__dict__["tanh"] is original
+
+    def test_sanitize_restores_prior_enabled_state(self):
+        enable_sanitizer()
+        with sanitize():
+            pass
+        assert is_sanitizer_enabled()  # outer enable survives inner context
+        disable_sanitizer()
+
+    def test_fused_kernels_are_covered(self):
+        real = Tensor.__dict__["lstm_cell_fused"]
+        enable_sanitizer()
+        try:
+            assert Tensor.__dict__["lstm_cell_fused"] is not real
+        finally:
+            disable_sanitizer()
+        assert Tensor.__dict__["lstm_cell_fused"] is real
+
+
+class TestObsIntegration:
+    def test_trap_emits_counter_and_runlog_event(self):
+        reset_registry()
+        sink = MemorySink()
+        previous = set_run_logger(RunLogger(sink=sink, run_id="sanitize-test"))
+        try:
+            with pytest.raises(NumericalError), sanitize():
+                t = Tensor(np.array([-1.0]), requires_grad=True)
+                with np.errstate(invalid="ignore"):
+                    t.log()
+            traps = [
+                m for m in get_registry().collect()
+                if m["name"] == "sanitizer.traps"
+            ]
+            assert len(traps) == 1
+            assert traps[0]["labels"] == {"kind": "nan", "op": "log"}
+            assert traps[0]["value"] == 1
+            events = sink.events("sanitizer.trap")
+            assert len(events) == 1
+            assert events[0]["op"] == "log"
+            assert events[0]["kind"] == "nan"
+            assert events[0]["phase"] == "forward"
+        finally:
+            set_run_logger(previous)
+            reset_registry()
+
+
+class TestAssertDeterministic:
+    @staticmethod
+    def _seeded_run():
+        rng = np.random.default_rng(17)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        x.tanh().sum().backward()
+
+    def test_identical_reruns_pass(self):
+        with assert_deterministic(seed=17):
+            self._seeded_run()
+        with assert_deterministic(seed=17):
+            self._seeded_run()
+
+    def test_divergent_rerun_raises(self):
+        with assert_deterministic(seed=17):
+            self._seeded_run()
+        with pytest.raises(NumericalError) as excinfo:
+            with assert_deterministic(seed=17):
+                x = Tensor(np.full((3, 4), 0.25), requires_grad=True)
+                x.tanh().sum().backward()
+        assert excinfo.value.kind == "nondeterminism"
+
+    def test_different_seeds_record_independently(self):
+        with assert_deterministic(seed=1):
+            self._seeded_run()
+        with assert_deterministic(seed=2):
+            x = Tensor(np.zeros((2, 2)), requires_grad=True)
+            (x + 1.0).sum().backward()
+
+    def test_nesting_inside_sanitizer_is_rejected(self):
+        enable_sanitizer()
+        with pytest.raises(RuntimeError, match="cannot nest"):
+            with assert_deterministic(seed=0):
+                pass
