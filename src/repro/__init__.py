@@ -15,6 +15,9 @@ Public API highlights
 - :mod:`repro.nn` — the from-scratch autograd / neural-net substrate.
 - :mod:`repro.obs` — metrics registry, span tracing, JSONL run logs, and
   the autograd op profiler (``python -m repro.obs.report run.jsonl``).
+- :mod:`repro.resilience` — chaos fault injection, durable
+  checkpoint/resume for training, retry with backoff for data I/O, and
+  the graceful-degradation ``ResilientReranker`` serving wrapper.
 """
 
 __version__ = "1.0.0"

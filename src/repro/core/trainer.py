@@ -20,6 +20,8 @@ from ..data.batching import RerankBatch, iterate_batches
 from ..data.schema import Catalog, Population, RankingRequest
 from ..obs import RunLogger, get_registry, get_run_logger, trace
 from ..rerank.base import Reranker
+from ..resilience.chaos import faultpoint
+from ..resilience.checkpoint import CheckpointConfig, CheckpointManager
 from ..utils.rng import make_rng
 from ..utils.timer import Timings
 from .rapid import RapidConfig, RapidModel, make_rapid_variant
@@ -51,6 +53,7 @@ def train_rapid(
     on_epoch_end: Callable[[int, float], object] | None = None,
     timings: Timings | None = None,
     run_logger: RunLogger | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> list[float]:
     """Train ``model`` in place; returns the per-epoch mean losses.
 
@@ -61,6 +64,16 @@ def train_rapid(
     metrics registry/tracer: per-batch ``train.batch`` events and spans,
     per-epoch ``train.epoch`` events with loss, grad norm, learning rate
     and throughput, and a ``train.batch_ms`` latency histogram.
+
+    With ``checkpoint`` set, the run saves a durable checkpoint (model +
+    optimizer slots + noise-RNG state + loss history; see
+    :mod:`repro.resilience.checkpoint`) every
+    ``checkpoint.every_epochs`` epochs, and **resumes** from the newest
+    intact checkpoint in ``checkpoint.directory`` when one exists.
+    Because batch shuffling is seeded by ``config.seed + epoch`` (pure
+    function of the epoch) and the only stateful randomness is
+    ``noise_rng`` (captured in the checkpoint), a killed-and-resumed run
+    reproduces the uninterrupted loss curve bit-identically.
     """
     if not requests:
         raise ValueError("no training requests provided")
@@ -71,6 +84,19 @@ def train_rapid(
     )
     noise_rng = make_rng(config.seed + 1)
     losses: list[float] = []
+    start_epoch = 0
+    manager = CheckpointManager(checkpoint) if checkpoint is not None else None
+    if manager is not None:
+        restored = manager.restore(model=model, optimizer=optimizer, rng=noise_rng)
+        if restored is not None:
+            start_epoch = restored.epoch + 1
+            losses = list(restored.losses)
+            logger.log(
+                "train.resume",
+                epoch=restored.epoch,
+                epochs_done=len(losses),
+                directory=str(checkpoint.directory),
+            )
     model.train()
     with trace("train.run"):
         logger.log(
@@ -81,7 +107,8 @@ def train_rapid(
             lr=config.lr,
             num_requests=len(requests),
         )
-        for epoch in range(config.epochs):
+        for epoch in range(start_epoch, config.epochs):
+            faultpoint("train.epoch")
             epoch_losses: list[float] = []
             grad_norms: list[float] = []
             lists_seen = 0
@@ -100,6 +127,7 @@ def train_rapid(
                         flat_history_length=config.flat_history_length,
                     )
                 ):
+                    faultpoint("train.batch")
                     with trace("train.batch"):
                         start = time.perf_counter()
                         optimizer.zero_grad()
@@ -140,10 +168,19 @@ def train_rapid(
                 lists_per_sec=lists_seen / epoch_seconds if epoch_seconds else 0.0,
                 epoch_s=epoch_seconds,
             )
+            if manager is not None and manager.should_save(epoch):
+                manager.save(
+                    model=model,
+                    optimizer=optimizer,
+                    epoch=epoch,
+                    losses=losses,
+                    rng=noise_rng,
+                )
             if on_epoch_end is not None and on_epoch_end(epoch, mean_loss):
                 logger.log("train.early_stop", epoch=epoch, loss=mean_loss)
                 break
-        logger.log("train.end", epochs_run=len(losses), final_loss=losses[-1])
+        if losses:
+            logger.log("train.end", epochs_run=len(losses), final_loss=losses[-1])
     return losses
 
 

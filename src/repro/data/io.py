@@ -3,6 +3,16 @@
 Lets a generated semi-synthetic dataset (world + histories + click-labeled
 requests) be frozen to disk so that every model in a comparison trains and
 evaluates on byte-identical data, and so experiments can be shared.
+
+Durability: every save goes through
+:func:`repro.utils.atomicio.atomic_savez` (write-temp + fsync +
+``os.replace``), so a crash mid-save can never leave a torn dataset file —
+readers see the previous complete file or the new one.  Loads and saves
+run under :data:`repro.resilience.retry.DEFAULT_IO_POLICY` (transient
+``OSError``/injected faults are retried with jittered backoff; schema and
+value errors stay fatal) and pass the ``data.load`` / ``data.save`` chaos
+fault points, so the whole persistence path is exercised by fault-injection
+tests.
 """
 
 from __future__ import annotations
@@ -11,6 +21,9 @@ from pathlib import Path
 
 import numpy as np
 
+from ..resilience.chaos import faultpoint
+from ..resilience.retry import DEFAULT_IO_POLICY, call_with_retry
+from ..utils.atomicio import atomic_savez
 from .schema import Catalog, Population, RankingRequest
 
 __all__ = [
@@ -29,41 +42,66 @@ def _ensure_npz(path: str | Path) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def _save(path: str | Path, payload: dict) -> Path:
+    """One retried, atomic, fault-point-guarded archive write."""
+    path = _ensure_npz(path)
+
+    def attempt() -> Path:
+        faultpoint("data.save")
+        return atomic_savez(path, payload)
+
+    return call_with_retry(attempt, policy=DEFAULT_IO_POLICY, site="data.save")
+
+
+def _load(path: str | Path, reader) -> object:
+    """One retried, fault-point-guarded archive read.
+
+    ``reader(archive)`` must materialize everything it needs — the archive
+    is closed when it returns, and a fresh attempt reopens the file.
+    """
+
+    def attempt():
+        faultpoint("data.load")
+        with np.load(Path(path)) as archive:
+            return reader(archive)
+
+    return call_with_retry(attempt, policy=DEFAULT_IO_POLICY, site="data.load")
 
 
 def save_catalog(catalog: Catalog, path: str | Path) -> Path:
-    path = _ensure_npz(path)
     payload = {"features": catalog.features, "coverage": catalog.coverage}
     if catalog.bids is not None:
         payload["bids"] = catalog.bids
-    np.savez(path, **payload)
-    return path
+    return _save(path, payload)
 
 
 def load_catalog(path: str | Path) -> Catalog:
-    with np.load(Path(path)) as archive:
+    def reader(archive) -> Catalog:
         bids = archive["bids"] if "bids" in archive.files else None
         return Catalog(
             features=archive["features"], coverage=archive["coverage"], bids=bids
         )
 
+    return _load(path, reader)
+
 
 def save_population(population: Population, path: str | Path) -> Path:
-    path = _ensure_npz(path)
-    np.savez(
+    return _save(
         path,
-        features=population.features,
-        topic_preference=population.topic_preference,
-        diversity_weight=population.diversity_weight,
-        latent=population.latent,
+        {
+            "features": population.features,
+            "topic_preference": population.topic_preference,
+            "diversity_weight": population.diversity_weight,
+            "latent": population.latent,
+        },
     )
-    return path
 
 
 def load_population(path: str | Path) -> Population:
-    with np.load(Path(path)) as archive:
+    def reader(archive) -> Population:
         return Population(
             features=archive["features"],
             topic_preference=archive["topic_preference"],
@@ -71,10 +109,11 @@ def load_population(path: str | Path) -> Population:
             latent=archive["latent"],
         )
 
+    return _load(path, reader)
+
 
 def save_requests(requests: list[RankingRequest], path: str | Path) -> Path:
     """Persist equal-length requests as stacked arrays."""
-    path = _ensure_npz(path)
     if not requests:
         raise ValueError("cannot save an empty request list")
     lengths = {r.list_length for r in requests}
@@ -91,12 +130,11 @@ def save_requests(requests: list[RankingRequest], path: str | Path) -> Path:
     }
     if has_clicks:
         payload["clicks"] = np.vstack([r.clicks for r in requests])
-    np.savez(path, **payload)
-    return path
+    return _save(path, payload)
 
 
 def load_requests(path: str | Path) -> list[RankingRequest]:
-    with np.load(Path(path)) as archive:
+    def reader(archive) -> list[RankingRequest]:
         clicks = archive["clicks"] if "clicks" in archive.files else None
         return [
             RankingRequest(
@@ -109,21 +147,23 @@ def load_requests(path: str | Path) -> list[RankingRequest]:
             for i in range(len(archive["user_ids"]))
         ]
 
+    return _load(path, reader)
+
 
 def save_histories(histories: list[np.ndarray], path: str | Path) -> Path:
     """Persist variable-length histories via padding + length vector."""
-    path = _ensure_npz(path)
     lengths = np.array([len(h) for h in histories], dtype=np.int64)
     width = int(lengths.max(initial=0))
     padded = np.full((len(histories), max(width, 1)), -1, dtype=np.int64)
     for row, history in enumerate(histories):
         padded[row, : len(history)] = history
-    np.savez(path, padded=padded, lengths=lengths)
-    return path
+    return _save(path, {"padded": padded, "lengths": lengths})
 
 
 def load_histories(path: str | Path) -> list[np.ndarray]:
-    with np.load(Path(path)) as archive:
+    def reader(archive) -> list[np.ndarray]:
         padded = archive["padded"]
         lengths = archive["lengths"]
         return [padded[i, : lengths[i]].copy() for i in range(len(lengths))]
+
+    return _load(path, reader)

@@ -51,6 +51,7 @@ from ..rerank import (
     SetRankReranker,
     identity_permutation,
 )
+from ..resilience.chaos import faultpoint
 from ..utils.rng import make_rng
 from .protocol import ExperimentConfig
 
@@ -248,6 +249,7 @@ def evaluate_reranker(
     catalog = bundle.world.catalog
     requests = bundle.test_requests
 
+    faultpoint("eval.rerank")
     with trace("eval.rerank"):
         permutations: list[np.ndarray] = []
         rerank_seconds = 0.0
@@ -270,6 +272,7 @@ def evaluate_reranker(
             rerank_seconds += span.duration_s
             permutations.extend(perm[row] for row in range(len(chunk)))
 
+    faultpoint("eval.metrics")
     with trace("eval.metrics"):
         click_rows: list[np.ndarray] = []
         coverage_rows: list[np.ndarray] = []

@@ -29,7 +29,7 @@ from .layers import (
 )
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .serialization import load_module, save_module
+from .serialization import CheckpointCorruptError, load_module, save_module
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -62,6 +62,7 @@ __all__ = [
     "init",
     "is_grad_enabled",
     "kernels",
+    "CheckpointCorruptError",
     "load_module",
     "losses",
     "no_grad",

@@ -29,6 +29,35 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing: slot buffers are keyed by parameter position, which
+    # is stable because ``Module.parameters()`` iterates depth-first over
+    # ordered dicts.  ``repro.resilience.checkpoint`` persists these
+    # dicts so a resumed run continues the exact optimizer trajectory.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Json/np-serializable optimizer state (hyper-params + slots)."""
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+
+    def _load_slots(self, name: str, target: list, source) -> None:
+        source = list(source)
+        if len(source) != len(target):
+            raise ValueError(
+                f"optimizer state mismatch: {len(source)} {name} slot(s) "
+                f"for {len(target)} parameter(s)"
+            )
+        for index, (slot, saved) in enumerate(zip(target, source)):
+            saved = np.asarray(saved, dtype=slot.dtype)
+            if saved.shape != slot.shape:
+                raise ValueError(
+                    f"optimizer {name}[{index}] shape {saved.shape} != "
+                    f"parameter shape {slot.shape}"
+                )
+            slot[...] = saved
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -57,6 +86,15 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_slots("velocity", self._velocity, state["velocity"])
 
 
 class Adam(Optimizer):
@@ -98,6 +136,19 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["step"] = int(self._step)
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._step = int(state["step"])
+        self._load_slots("m", self._m, state["m"])
+        self._load_slots("v", self._v, state["v"])
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:

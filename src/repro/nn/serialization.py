@@ -1,33 +1,95 @@
-"""Save/load module state dicts to ``.npz`` archives."""
+"""Save/load module state dicts to ``.npz`` archives.
+
+Archives are written atomically (temp file + fsync + rename, via
+:mod:`repro.utils.atomicio`) and carry a format-version field under
+``__format_version__``.  Loading a truncated, corrupted, or
+wrong/missing-version file raises :class:`CheckpointCorruptError` — a
+single typed error naming the path and the reason — instead of leaking a
+raw ``zipfile``/``numpy`` traceback from whichever internal read happened
+to fail first.
+"""
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from ..utils.atomicio import atomic_savez
 from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = [
+    "CheckpointCorruptError",
+    "FORMAT_VERSION",
+    "VERSION_KEY",
+    "save_module",
+    "load_module",
+    "read_state_archive",
+]
+
+#: Bumped when the archive layout changes incompatibly.
+FORMAT_VERSION = 1
+VERSION_KEY = "__format_version__"
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A state archive failed to load: truncated, corrupt, or wrong format."""
+
+    def __init__(self, path: str | Path, reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"corrupt checkpoint {self.path}: {reason}")
 
 
 def save_module(module: Module, path: str | Path) -> Path:
-    """Persist a module's parameters to an ``.npz`` file; returns the path."""
+    """Persist a module's parameters to an ``.npz`` file; returns the path.
+
+    The write is atomic: a crash mid-save leaves any previous file at
+    ``path`` intact rather than a torn archive.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    state = module.state_dict()
-    np.savez(path, **{name: array for name, array in state.items()})
-    return path
+    state = dict(module.state_dict())
+    state[VERSION_KEY] = np.array(FORMAT_VERSION, dtype=np.int64)
+    return atomic_savez(path, state)
+
+
+def read_state_archive(path: str | Path) -> dict[str, np.ndarray]:
+    """Load and validate a :func:`save_module` archive into a state dict.
+
+    Raises :class:`FileNotFoundError` for a missing file and
+    :class:`CheckpointCorruptError` for anything unreadable: a truncated
+    zip, a non-archive file, a missing version field, or a version this
+    code does not understand.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile) as error:
+        # zipfile.BadZipFile covers truncated/garbage containers; numpy raises
+        # ValueError for truncated member payloads and non-npy members.
+        raise CheckpointCorruptError(
+            path, f"unreadable archive ({type(error).__name__}: {error})"
+        ) from error
+    if VERSION_KEY not in state:
+        raise CheckpointCorruptError(
+            path, "missing format-version field (file predates v1 or is foreign)"
+        )
+    version = int(state.pop(VERSION_KEY))
+    if version > FORMAT_VERSION:
+        raise CheckpointCorruptError(
+            path,
+            f"format version {version} is newer than supported {FORMAT_VERSION}",
+        )
+    return state
 
 
 def load_module(module: Module, path: str | Path) -> Module:
     """Load parameters saved by :func:`save_module` into ``module``."""
-    path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"no checkpoint at {path}")
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(read_state_archive(path))
     return module

@@ -11,11 +11,22 @@ building the record, so instrumented library code costs a single attribute
 check and performs **no file I/O** unless a caller opts in by installing a
 :class:`JsonlSink` (files) or :class:`MemorySink` (tests).  See DESIGN.md,
 "Observability" for the policy rationale.
+
+Crash safety: :class:`JsonlSink` flushes after **every** record, so a
+process killed mid-run (OOM, ``kill -9``, power loss) leaves a log that is
+replayable up to the last completed event — at worst the final line is
+torn, and :func:`read_jsonl` with ``strict=False`` drops exactly that
+torn tail.  For durability-critical runs (the record must survive an OS
+crash, not just a process crash), pass ``fsync=True`` to push every
+record through to stable storage; this trades one ``fsync(2)`` per event
+for the guarantee.  The kill-mid-run contract is proven by
+``tests/test_runlog_crash_safety.py``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 import uuid
 from pathlib import Path
@@ -64,12 +75,18 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Appends one JSON object per line to ``path`` (opened lazily)."""
+    """Appends one JSON object per line to ``path`` (opened lazily).
+
+    Every record is flushed immediately (crash-safe against process
+    death); with ``fsync=True`` it is also fsync-ed to stable storage
+    (crash-safe against OS/power failure, at ~one syscall per event).
+    """
 
     active = True
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = fsync
         self._handle = None
 
     def write(self, record: dict) -> None:
@@ -79,6 +96,8 @@ class JsonlSink:
         json.dump(record, self._handle, default=_json_fallback)
         self._handle.write("\n")
         self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -138,12 +157,22 @@ def set_run_logger(logger: RunLogger | None) -> RunLogger:
     return previous
 
 
-def read_jsonl(path: str | Path) -> list[dict]:
-    """Load every record of a JSONL run log."""
+def read_jsonl(path: str | Path, strict: bool = True) -> list[dict]:
+    """Load every record of a JSONL run log.
+
+    With ``strict=False`` a malformed **final** line — the torn tail a
+    killed writer can leave behind — is silently dropped, so crash logs
+    replay up to the last completed event.  Malformed lines anywhere else
+    still raise: they indicate real corruption, not a torn append.
+    """
     records = []
     with Path(path).open(encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [line.strip() for line in handle]
+    lines = [line for line in lines if line]
+    for index, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or index != len(lines) - 1:
+                raise
     return records

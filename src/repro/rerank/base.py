@@ -10,6 +10,7 @@ PD-GAN) override :meth:`Reranker.rerank` directly.
 from __future__ import annotations
 
 import functools
+import importlib
 import threading
 import time
 from typing import Sequence
@@ -19,6 +20,10 @@ import numpy as np
 from ..data.batching import RerankBatch
 from ..data.schema import Catalog, Population, RankingRequest
 from ..obs import get_registry
+
+# The module object itself, not the re-exported ``chaos()`` context manager
+# that shadows it on the package namespace.
+_chaos = importlib.import_module(".resilience.chaos", __package__.rsplit(".", 1)[0])
 
 __all__ = ["Reranker", "identity_permutation"]
 
@@ -39,10 +44,21 @@ def _timed_rerank(fn):
     whether they score-and-sort or build lists greedily.  A per-thread
     depth guard keeps overrides that delegate to ``super().rerank`` from
     double-counting: only the outermost call is observed.
+
+    The same uniform wrapper is the serving-path chaos hook: when a fault
+    plan is armed, every ``rerank`` entry visits the
+    ``rerank.score.<name>`` fault point (all depths, so a
+    ``ResilientReranker``'s inner primary stage can be targeted without
+    faulting the resilient wrapper itself).  Disarmed cost is a single
+    module-attribute ``None`` check, gated by
+    ``benchmarks/bench_resilience_overhead.py``.
     """
 
     @functools.wraps(fn)
     def wrapper(self, batch: RerankBatch) -> np.ndarray:
+        if _chaos._ACTIVE is not None:
+            name = getattr(self, "name", None) or type(self).__name__
+            _chaos.faultpoint(f"rerank.score.{name}")
         depth = getattr(_timing_state, "depth", 0)
         _timing_state.depth = depth + 1
         start = time.perf_counter()

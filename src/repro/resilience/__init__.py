@@ -1,0 +1,101 @@
+"""``repro.resilience`` — fault injection, durable checkpoints, serving guards.
+
+Four cooperating pieces (each usable alone):
+
+- :mod:`repro.resilience.chaos` — deterministic, seeded fault injection at
+  named fault points planted through trainer / data I/O / rerank / eval
+  (``faultpoint("data.load")``), with exception, latency-spike, and
+  NaN-poisoning fault kinds; inert and near-zero-cost when disarmed;
+- :mod:`repro.resilience.checkpoint` — durable training checkpoints
+  (atomic write + SHA-256 sidecar + keep-last-k rotation + corrupt-file
+  quarantine) that resume a killed ``train_rapid`` run bit-identically;
+- :mod:`repro.resilience.retry` — generic retry with exponential backoff,
+  decorrelated jitter, retryable-vs-fatal classification, and deadline
+  budgets (applied to ``repro.data.io``);
+- :mod:`repro.resilience.degrade` — :class:`ResilientReranker`: per-stage
+  deadline, circuit breaker, and a RAPID → MMR → passthrough fallback
+  chain so serving always returns a valid slate.
+
+All failures raise subclasses of :class:`ResilienceError` (plus the typed
+:class:`~repro.nn.serialization.CheckpointCorruptError` for unreadable
+archives), and everything reports through ``repro.obs``
+(``resilience.faults`` / ``resilience.retries`` / ``resilience.fallbacks``
+/ ``resilience.breaker_state``).  See DESIGN.md §8.
+
+``degrade`` is loaded lazily (PEP 562): it subclasses
+:class:`repro.rerank.base.Reranker`, and ``rerank.base`` itself imports
+:func:`faultpoint` from this package — eager loading would be a cycle.
+"""
+
+from __future__ import annotations
+
+from ..nn.serialization import CheckpointCorruptError
+from .chaos import (
+    ChaosPlan,
+    FaultSpec,
+    chaos,
+    chaos_active,
+    clear_chaos,
+    faultpoint,
+    install_chaos,
+)
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointManager,
+    TrainingCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    InjectedFault,
+    ResilienceError,
+    RetryBudgetExceeded,
+)
+from .retry import DEFAULT_IO_POLICY, RetryPolicy, call_with_retry, retry
+
+__all__ = [
+    "ChaosPlan",
+    "CheckpointConfig",
+    "CheckpointCorruptError",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "DEFAULT_IO_POLICY",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceError",
+    "ResilientReranker",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "TrainingCheckpoint",
+    "call_with_retry",
+    "chaos",
+    "chaos_active",
+    "clear_chaos",
+    "default_fallback_chain",
+    "faultpoint",
+    "install_chaos",
+    "load_checkpoint",
+    "retry",
+    "save_checkpoint",
+]
+
+_LAZY_DEGRADE = ("ResilientReranker", "CircuitBreaker", "default_fallback_chain")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_DEGRADE or name == "degrade":
+        import importlib
+
+        degrade = importlib.import_module(".degrade", __name__)
+        if name == "degrade":
+            return degrade
+        return getattr(degrade, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY_DEGRADE))

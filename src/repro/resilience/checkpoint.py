@@ -1,0 +1,289 @@
+"""Durable training checkpoints with atomic writes and corruption recovery.
+
+A checkpoint captures everything :func:`repro.core.trainer.train_rapid`
+needs to continue a killed run **bit-identically**: model parameters, the
+optimizer's slot buffers and step count, the training noise generator's
+bit-generator state, the last completed epoch, and the per-epoch loss
+history.  Batch order needs no state — the trainer shuffles with
+``seed + epoch``, so it is a pure function of the epoch index.
+
+Durability contract (see DESIGN.md §8):
+
+- every write goes through :func:`repro.utils.atomicio.atomic_savez`
+  (temp file + fsync + atomic rename) — a crash mid-save leaves the
+  previous checkpoint intact, never a torn file;
+- each archive gets a SHA-256 sidecar (``<file>.sha256``); loading
+  verifies it and raises
+  :class:`~repro.nn.serialization.CheckpointCorruptError` on mismatch;
+- :class:`CheckpointManager` keeps the last ``keep_last`` epochs and, on
+  restore, **quarantines** a corrupt latest file (renamed to
+  ``*.corrupt``) and falls back to the newest intact predecessor.
+
+Usage::
+
+    config = CheckpointConfig(directory=run_dir, keep_last=3)
+    losses = train_rapid(model, ..., checkpoint=config)   # saves per epoch
+    # kill -9 mid-run, then call train_rapid identically: it resumes from
+    # the newest intact checkpoint and the returned loss curve is
+    # bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optim import Optimizer
+from ..nn.serialization import FORMAT_VERSION, VERSION_KEY, CheckpointCorruptError
+from ..utils.atomicio import (
+    atomic_savez,
+    checksum_sidecar_path,
+    verify_checksum_sidecar,
+)
+from .chaos import faultpoint
+
+__all__ = [
+    "CheckpointConfig",
+    "TrainingCheckpoint",
+    "CheckpointManager",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_CKPT_PATTERN = re.compile(r"^ckpt_(\d{6})\.npz$")
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often the trainer checkpoints."""
+
+    directory: str | Path
+    every_epochs: int = 1
+    keep_last: int = 3
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.every_epochs < 1:
+            raise ValueError("every_epochs must be >= 1")
+        if self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+
+
+@dataclass
+class TrainingCheckpoint:
+    """One restorable training snapshot."""
+
+    epoch: int  # last *completed* epoch (0-based)
+    losses: list[float] = field(default_factory=list)
+    model_state: dict[str, np.ndarray] = field(default_factory=dict)
+    optimizer_state: dict = field(default_factory=dict)
+    rng_state: dict | None = None
+
+
+def save_checkpoint(
+    path: str | Path,
+    *,
+    model: Module,
+    optimizer: Optimizer,
+    epoch: int,
+    losses: "list[float]",
+    rng: np.random.Generator | None = None,
+    fsync: bool = True,
+) -> Path:
+    """Write one checkpoint archive + checksum sidecar atomically."""
+    faultpoint("checkpoint.save")
+    arrays: dict[str, np.ndarray] = {
+        VERSION_KEY: np.array(FORMAT_VERSION, dtype=np.int64),
+        "meta/epoch": np.array(epoch, dtype=np.int64),
+        "meta/losses": np.asarray(losses, dtype=np.float64),
+    }
+    for name, array in model.state_dict().items():
+        arrays[f"model/{name}"] = array
+    optim_state = optimizer.state_dict()
+    scalars: dict[str, float | int] = {}
+    for key, value in optim_state.items():
+        if isinstance(value, list):
+            for index, slot in enumerate(value):
+                arrays[f"optim/{key}/{index:04d}"] = np.asarray(slot)
+        else:
+            scalars[key] = value
+    arrays["optim/__scalars__"] = np.array(json.dumps(scalars))
+    if rng is not None:
+        arrays["rng/state"] = np.array(json.dumps(rng.bit_generator.state))
+    return atomic_savez(Path(path), arrays, fsync=fsync, checksum=True)
+
+
+def load_checkpoint(path: str | Path) -> TrainingCheckpoint:
+    """Read and verify one checkpoint archive.
+
+    Raises :class:`CheckpointCorruptError` when the checksum sidecar
+    disagrees with the file, when the archive is truncated/unreadable, or
+    when required fields are missing.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    if verify_checksum_sidecar(path) is False:
+        raise CheckpointCorruptError(path, "SHA-256 checksum mismatch")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile) as error:
+        raise CheckpointCorruptError(
+            path, f"unreadable archive ({type(error).__name__}: {error})"
+        ) from error
+    if VERSION_KEY not in arrays:
+        raise CheckpointCorruptError(path, "missing format-version field")
+    version = int(arrays[VERSION_KEY])
+    if version > FORMAT_VERSION:
+        raise CheckpointCorruptError(
+            path, f"format version {version} is newer than supported {FORMAT_VERSION}"
+        )
+    try:
+        epoch = int(arrays["meta/epoch"])
+        losses = [float(x) for x in arrays["meta/losses"]]
+        model_state = {
+            name[len("model/") :]: array
+            for name, array in arrays.items()
+            if name.startswith("model/")
+        }
+        optimizer_state: dict = json.loads(str(arrays["optim/__scalars__"]))
+        slots: dict[str, list] = {}
+        for name in sorted(arrays):
+            if name.startswith("optim/") and name != "optim/__scalars__":
+                key = name.split("/")[1]
+                slots.setdefault(key, []).append(arrays[name])
+        optimizer_state.update(slots)
+        rng_state = (
+            json.loads(str(arrays["rng/state"])) if "rng/state" in arrays else None
+        )
+    except (KeyError, ValueError, json.JSONDecodeError) as error:
+        raise CheckpointCorruptError(
+            path, f"malformed payload ({type(error).__name__}: {error})"
+        ) from error
+    return TrainingCheckpoint(
+        epoch=epoch,
+        losses=losses,
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        rng_state=rng_state,
+    )
+
+
+class CheckpointManager:
+    """Rotation, discovery, and corrupt-file recovery over one directory."""
+
+    def __init__(self, config: CheckpointConfig) -> None:
+        self.config = config
+        self.directory = Path(config.directory)
+
+    def path_for(self, epoch: int) -> Path:
+        return self.directory / f"ckpt_{epoch:06d}.npz"
+
+    def epochs_on_disk(self) -> list[int]:
+        """Completed-epoch indices with an archive present, ascending."""
+        if not self.directory.exists():
+            return []
+        epochs = []
+        for entry in self.directory.iterdir():
+            match = _CKPT_PATTERN.match(entry.name)
+            if match:
+                epochs.append(int(match.group(1)))
+        return sorted(epochs)
+
+    def should_save(self, epoch: int) -> bool:
+        return (epoch + 1) % self.config.every_epochs == 0
+
+    def save(
+        self,
+        *,
+        model: Module,
+        optimizer: Optimizer,
+        epoch: int,
+        losses: "list[float]",
+        rng: np.random.Generator | None = None,
+    ) -> Path:
+        """Write epoch ``epoch``'s checkpoint and rotate old ones."""
+        path = save_checkpoint(
+            self.path_for(epoch),
+            model=model,
+            optimizer=optimizer,
+            epoch=epoch,
+            losses=losses,
+            rng=rng,
+            fsync=self.config.fsync,
+        )
+        self._rotate()
+        self._log("checkpoint.saved", epoch=epoch, path=str(path))
+        return path
+
+    def _rotate(self) -> None:
+        for epoch in self.epochs_on_disk()[: -self.config.keep_last]:
+            stale = self.path_for(epoch)
+            stale.unlink(missing_ok=True)
+            checksum_sidecar_path(stale).unlink(missing_ok=True)
+
+    def latest(self) -> "tuple[Path, TrainingCheckpoint] | None":
+        """Newest loadable checkpoint, quarantining corrupt ones.
+
+        Walks epochs newest-first; a file that fails verification is
+        renamed to ``<name>.corrupt`` (sidecar too) and the next-newest is
+        tried — so one torn or bit-rotted file degrades to "resume from
+        the previous epoch", not "restart from scratch".
+        """
+        for epoch in reversed(self.epochs_on_disk()):
+            path = self.path_for(epoch)
+            try:
+                return path, load_checkpoint(path)
+            except CheckpointCorruptError as error:
+                quarantined = path.with_name(path.name + ".corrupt")
+                path.replace(quarantined)
+                sidecar = checksum_sidecar_path(path)
+                if sidecar.exists():
+                    sidecar.replace(sidecar.with_name(sidecar.name + ".corrupt"))
+                self._log(
+                    "checkpoint.quarantined",
+                    epoch=epoch,
+                    path=str(quarantined),
+                    reason=error.reason,
+                )
+        return None
+
+    def restore(
+        self,
+        *,
+        model: Module,
+        optimizer: Optimizer,
+        rng: np.random.Generator | None = None,
+    ) -> "TrainingCheckpoint | None":
+        """Load the newest intact checkpoint into live objects.
+
+        Returns the checkpoint (its ``epoch`` is the last completed one)
+        or ``None`` when the directory holds nothing restorable.
+        """
+        found = self.latest()
+        if found is None:
+            return None
+        path, ckpt = found
+        model.load_state_dict(ckpt.model_state)
+        optimizer.load_state_dict(ckpt.optimizer_state)
+        if rng is not None and ckpt.rng_state is not None:
+            rng.bit_generator.state = ckpt.rng_state
+        self._log("checkpoint.restored", epoch=ckpt.epoch, path=str(path))
+        return ckpt
+
+    @staticmethod
+    def _log(event: str, **fields) -> None:
+        from ..obs.metrics import get_registry
+        from ..obs.runlog import get_run_logger
+
+        get_registry().counter(f"resilience.{event}").inc()
+        logger = get_run_logger()
+        if logger.active:
+            logger.log(event, **fields)

@@ -1,0 +1,68 @@
+"""Classified error taxonomy for the resilience subsystem.
+
+Every failure the resilience layer produces — injected faults, exhausted
+retry budgets, blown deadlines, open circuit breakers — derives from
+:class:`ResilienceError`, so callers (and the chaos property tests) can
+assert the invariant "a run either completes or fails *classified*, never
+silently wrong" with a single ``except ResilienceError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "InjectedFault",
+    "RetryBudgetExceeded",
+    "DeadlineExceeded",
+    "CircuitOpenError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for every classified failure of the resilience layer."""
+
+
+class InjectedFault(ResilienceError):
+    """An exception fired by the chaos harness at a named fault point."""
+
+    def __init__(self, site: str, message: str = "") -> None:
+        self.site = site
+        super().__init__(message or f"injected fault at {site!r}")
+
+
+class RetryBudgetExceeded(ResilienceError):
+    """All retry attempts (or the retry deadline) were spent.
+
+    ``__cause__`` carries the final underlying error; ``attempts`` and
+    ``elapsed`` describe the budget that was consumed.
+    """
+
+    def __init__(self, site: str, attempts: int, elapsed: float) -> None:
+        self.site = site
+        self.attempts = attempts
+        self.elapsed = elapsed
+        super().__init__(
+            f"retry budget exhausted at {site!r} after {attempts} attempt(s) "
+            f"in {elapsed:.3f}s"
+        )
+
+
+class DeadlineExceeded(ResilienceError):
+    """A per-request deadline elapsed before the operation finished."""
+
+    def __init__(self, site: str, deadline_ms: float, elapsed_ms: float) -> None:
+        self.site = site
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        super().__init__(
+            f"{site!r} took {elapsed_ms:.1f} ms, over the "
+            f"{deadline_ms:.1f} ms deadline"
+        )
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was refused because its circuit breaker is open."""
+
+    def __init__(self, breaker: str) -> None:
+        self.breaker = breaker
+        super().__init__(f"circuit breaker {breaker!r} is open")

@@ -1,0 +1,158 @@
+"""Generic retry with exponential backoff, decorrelated jitter, and budgets.
+
+The policy object classifies errors instead of swallowing everything:
+
+- ``fatal`` exception types re-raise immediately (programming errors —
+  ``ValueError`` on a bad shape will not succeed on attempt two);
+- ``retryable`` types are retried with decorrelated-jitter backoff
+  (``delay = uniform(base, 3 * previous)`` capped at ``max_delay`` — the
+  AWS Architecture Blog variant, which avoids synchronized retry storms
+  better than plain exponential);
+- anything else is treated as fatal by default (``retry_unknown=False``).
+
+Two budgets bound the total cost: ``max_attempts`` and an optional wall
+clock ``deadline`` in seconds.  When both are spent the last error is
+re-raised wrapped in :class:`~repro.resilience.errors.RetryBudgetExceeded`
+(a classified :class:`ResilienceError`), with the original as
+``__cause__``.  Each retry increments ``resilience.retries{site=}`` and
+emits a ``retry.attempt`` run-log event.
+
+Usage::
+
+    @retry(RetryPolicy(max_attempts=4), site="data.load")
+    def load(path): ...
+
+    call_with_retry(np.load, path, policy=policy, site="data.load")
+
+The sleeper and clock are injectable so tests never actually wait.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import InjectedFault, RetryBudgetExceeded
+
+__all__ = ["RetryPolicy", "retry", "call_with_retry", "DEFAULT_IO_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What to retry, how often, and for how long."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    deadline: float | None = None  # total seconds across all attempts
+    retryable: tuple = (OSError, TimeoutError, InjectedFault)
+    fatal: tuple = ()
+    retry_unknown: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+
+    def classify(self, error: BaseException) -> str:
+        """``"retryable"`` or ``"fatal"`` for ``error``."""
+        if isinstance(error, self.fatal):
+            return "fatal"
+        if isinstance(error, self.retryable):
+            return "retryable"
+        return "retryable" if self.retry_unknown else "fatal"
+
+
+#: The policy ``repro.data.io`` applies around dataset load/save: transient
+#: filesystem errors (and injected ``data.*`` faults) are absorbed; schema
+#: errors propagate untouched.
+DEFAULT_IO_POLICY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.25)
+
+
+def call_with_retry(
+    fn,
+    *args,
+    policy: RetryPolicy = RetryPolicy(),
+    site: str = "",
+    sleep=time.sleep,
+    clock=time.monotonic,
+    **kwargs,
+):
+    """Invoke ``fn(*args, **kwargs)`` under ``policy``; see module docs."""
+    site = site or getattr(fn, "__qualname__", repr(fn))
+    rng = np.random.default_rng(policy.seed)
+    started = clock()
+    delay = policy.base_delay
+    last_error: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(*args, **kwargs)
+        except BaseException as error:  # noqa: BLE001 - classified below
+            if policy.classify(error) == "fatal":
+                raise
+            last_error = error
+            elapsed = clock() - started
+            _record_retry(site, attempt, error)
+            if attempt >= policy.max_attempts or (
+                policy.deadline is not None and elapsed >= policy.deadline
+            ):
+                raise RetryBudgetExceeded(site, attempt, elapsed) from error
+            # Decorrelated jitter: next delay drawn from [base, 3 * prev].
+            delay = min(
+                policy.max_delay, float(rng.uniform(policy.base_delay, delay * 3.0))
+            )
+            if policy.deadline is not None:
+                delay = min(delay, max(0.0, policy.deadline - (clock() - started)))
+            if delay > 0:
+                sleep(delay)
+    raise RetryBudgetExceeded(  # pragma: no cover - loop always returns/raises
+        site, policy.max_attempts, clock() - started
+    ) from last_error
+
+
+def _record_retry(site: str, attempt: int, error: BaseException) -> None:
+    from ..obs.metrics import get_registry
+    from ..obs.runlog import get_run_logger
+
+    get_registry().counter("resilience.retries", site=site).inc()
+    logger = get_run_logger()
+    if logger.active:
+        logger.log(
+            "retry.attempt",
+            site=site,
+            attempt=attempt,
+            error=type(error).__name__,
+            detail=str(error),
+        )
+
+
+def retry(
+    policy: RetryPolicy = RetryPolicy(),
+    site: str = "",
+    sleep=time.sleep,
+    clock=time.monotonic,
+):
+    """Decorator form of :func:`call_with_retry`."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return call_with_retry(
+                fn,
+                *args,
+                policy=policy,
+                site=site or fn.__qualname__,
+                sleep=sleep,
+                clock=clock,
+                **kwargs,
+            )
+
+        wrapper._retry_policy = policy
+        return wrapper
+
+    return decorate

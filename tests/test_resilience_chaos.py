@@ -1,0 +1,308 @@
+"""Chaos harness tests: scheduling, determinism, NaN poisoning, properties.
+
+The load-bearing property (mirrors DESIGN.md §8): under any armed fault
+plan, a pipeline either completes normally or raises a *classified* error
+(:class:`ResilienceError`, :class:`NumericalError`,
+:class:`CheckpointCorruptError`) — never a silently wrong result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RapidConfig, TrainConfig, make_rapid_variant, train_rapid
+from repro.data import RankingRequest, load_catalog, save_catalog
+from repro.nn.serialization import CheckpointCorruptError
+from repro.obs import MemorySink, RunLogger, get_registry, set_run_logger
+from repro.resilience import (
+    ChaosPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceError,
+    RetryBudgetExceeded,
+    chaos,
+    chaos_active,
+    clear_chaos,
+    faultpoint,
+    install_chaos,
+)
+from repro.testing import NumericalError, sanitize
+
+
+@pytest.fixture(scope="module")
+def tiny_training(taobao_world):
+    """A minimal but real training setup (8 requests, list length 10)."""
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    requests = []
+    for _ in range(8):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=10, replace=False)
+        clicks = (rng.random(10) < 0.3).astype(float)
+        requests.append(
+            RankingRequest(user, items, rng.normal(size=10), clicks=clicks)
+        )
+    config = RapidConfig(
+        user_dim=world.population.feature_dim,
+        item_dim=world.catalog.feature_dim,
+        num_topics=world.catalog.num_topics,
+        hidden=4,
+        seed=0,
+    )
+    return world, histories, requests, config
+
+
+def _train(tiny_training, epochs: int = 1) -> list[float]:
+    world, histories, requests, config = tiny_training
+    model = make_rapid_variant("rapid-det", config)
+    return train_rapid(
+        model,
+        requests,
+        world.catalog,
+        world.population,
+        histories,
+        config=TrainConfig(epochs=epochs, batch_size=4, seed=0),
+    )
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("data.load")
+        assert spec.kind == "error" and spec.times == 1 and spec.after == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("data.load", kind="gamma-ray")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("data.load", probability=1.5)
+
+    def test_negative_schedule_rejected(self):
+        with pytest.raises(ValueError, match="after/times"):
+            FaultSpec("data.load", after=-1)
+        with pytest.raises(ValueError, match="after/times"):
+            FaultSpec("data.load", times=-2)
+
+    def test_nan_requires_op_site(self):
+        with pytest.raises(ValueError, match="op\\.<name>"):
+            FaultSpec("data.load", kind="nan")
+        FaultSpec("op.sigmoid", kind="nan")  # fine
+
+
+class TestScheduling:
+    def test_faultpoint_is_inert_when_disarmed(self):
+        assert not chaos_active()
+        faultpoint("data.load")  # no plan installed: must be a no-op
+
+    def test_fires_exactly_times(self):
+        with chaos(FaultSpec("site.a", times=2)) as plan:
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    faultpoint("site.a")
+            faultpoint("site.a")  # exhausted
+            assert plan.fires("site.a") == 2
+
+    def test_after_skips_first_hits(self):
+        with chaos(FaultSpec("site.a", after=3, times=1)) as plan:
+            for _ in range(3):
+                faultpoint("site.a")
+            with pytest.raises(InjectedFault):
+                faultpoint("site.a")
+            assert plan.fires() == 1
+
+    def test_times_none_never_stops(self):
+        with chaos(FaultSpec("site.a", times=None)) as plan:
+            for _ in range(5):
+                with pytest.raises(InjectedFault):
+                    faultpoint("site.a")
+            assert plan.fires() == 5
+
+    def test_fnmatch_site_patterns(self):
+        with chaos(FaultSpec("data.*", times=None)) as plan:
+            with pytest.raises(InjectedFault):
+                faultpoint("data.load")
+            with pytest.raises(InjectedFault):
+                faultpoint("data.save")
+            faultpoint("train.epoch")  # unmatched
+            assert plan.fires("data.*") == 2
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed: int) -> list[bool]:
+            fired = []
+            with chaos(
+                FaultSpec("site.a", probability=0.5, times=None), seed=seed
+            ):
+                for _ in range(32):
+                    try:
+                        faultpoint("site.a")
+                        fired.append(False)
+                    except InjectedFault:
+                        fired.append(True)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)  # astronomically unlikely to collide
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_custom_error_type(self):
+        with chaos(FaultSpec("site.a", error=TimeoutError, message="slow disk")):
+            with pytest.raises(TimeoutError, match="slow disk"):
+                faultpoint("site.a")
+
+    def test_injected_fault_carries_site(self):
+        with chaos(FaultSpec("site.a")):
+            with pytest.raises(InjectedFault) as excinfo:
+                faultpoint("site.a")
+        assert excinfo.value.site == "site.a"
+        assert isinstance(excinfo.value, ResilienceError)
+
+    def test_latency_fault_uses_injected_sleeper(self):
+        naps: list[float] = []
+        with chaos(
+            FaultSpec("site.a", kind="latency", latency_ms=250.0, times=2),
+            sleep=naps.append,
+        ):
+            faultpoint("site.a")
+            faultpoint("site.a")
+            faultpoint("site.a")
+        assert naps == [0.25, 0.25]
+
+    def test_install_replaces_and_clear_is_idempotent(self):
+        plan = install_chaos(ChaosPlan([FaultSpec("site.a")]))
+        assert chaos_active()
+        install_chaos(ChaosPlan([]))  # replaces
+        faultpoint("site.a")  # old plan gone
+        clear_chaos()
+        clear_chaos()  # idempotent
+        assert not chaos_active()
+        assert plan.fires() == 0
+
+    def test_fire_emits_counter_and_runlog_event(self):
+        get_registry().reset()
+        sink = MemorySink()
+        previous = set_run_logger(RunLogger(sink))
+        try:
+            with chaos(FaultSpec("site.a")):
+                with pytest.raises(InjectedFault):
+                    faultpoint("site.a")
+        finally:
+            set_run_logger(previous)
+        counter = get_registry().counter(
+            "resilience.faults", site="site.a", kind="error"
+        )
+        assert counter.value == 1
+        (event,) = sink.events("chaos.fault")
+        assert event["site"] == "site.a" and event["kind"] == "error"
+
+
+class TestNanPoisoning:
+    def test_poisons_named_op_output(self):
+        from repro import nn
+
+        with chaos(FaultSpec("op.relu", kind="nan", times=1)):
+            out = nn.Tensor(np.ones(4)).relu()
+            assert np.isnan(out.data).any()
+            clean = nn.Tensor(np.ones(4)).relu()  # times=1 exhausted
+            assert np.isfinite(clean.data).all()
+
+    def test_ops_restored_after_clear(self):
+        from repro import nn
+        from repro.nn.tensor import PROFILED_OPS
+
+        before = {name: getattr(nn.Tensor, name, None) for name in PROFILED_OPS}
+        with chaos(FaultSpec("op.relu", kind="nan")):
+            pass
+        after = {name: getattr(nn.Tensor, name, None) for name in PROFILED_OPS}
+        assert before == after
+        assert np.isfinite(nn.Tensor(np.ones(3)).relu().data).all()
+
+    def test_sanitizer_traps_poison_with_op_name(self):
+        from repro import nn
+
+        t = nn.Tensor(np.ones((2, 2)), requires_grad=True)
+        with chaos(FaultSpec("op.sigmoid", kind="nan", times=1)):
+            with sanitize():
+                with pytest.raises(NumericalError) as excinfo:
+                    (t.sigmoid() * 2.0).sum()
+        assert excinfo.value.op == "sigmoid"
+        assert excinfo.value.kind == "nan"
+
+
+class TestDataIoUnderChaos:
+    def test_transient_load_fault_is_retried_away(self, taobao_world, tmp_path):
+        path = tmp_path / "catalog.npz"
+        save_catalog(taobao_world.catalog, path)
+        # DEFAULT_IO_POLICY allows 3 attempts; 2 injected faults are absorbed.
+        with chaos(FaultSpec("data.load", times=2)) as plan:
+            catalog = load_catalog(path)
+        assert plan.fires() == 2
+        np.testing.assert_array_equal(catalog.features, taobao_world.catalog.features)
+
+    def test_persistent_fault_exhausts_budget_classified(
+        self, taobao_world, tmp_path
+    ):
+        path = tmp_path / "catalog.npz"
+        save_catalog(taobao_world.catalog, path)
+        with chaos(FaultSpec("data.load", times=None)):
+            with pytest.raises(RetryBudgetExceeded) as excinfo:
+                load_catalog(path)
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+
+    def test_save_fault_retried_leaves_valid_file(self, taobao_world, tmp_path):
+        path = tmp_path / "catalog.npz"
+        with chaos(FaultSpec("data.save", times=1)) as plan:
+            save_catalog(taobao_world.catalog, path)
+        assert plan.fires() == 1
+        loaded = load_catalog(path)
+        np.testing.assert_array_equal(loaded.coverage, taobao_world.catalog.coverage)
+
+
+CLASSIFIED = (ResilienceError, NumericalError, CheckpointCorruptError)
+
+TRAINING_FAULTS = [
+    FaultSpec("train.epoch", times=1),
+    FaultSpec("train.batch", after=1, times=1),
+    FaultSpec("train.batch", probability=0.25, times=None),
+    FaultSpec("train.*", error=TimeoutError),
+    FaultSpec("op.__matmul__", kind="nan", times=1),
+]
+
+
+class TestChaosProperty:
+    """Training under every scheduled fault completes-or-raises-classified."""
+
+    @pytest.mark.parametrize(
+        "spec", TRAINING_FAULTS, ids=lambda s: f"{s.site}/{s.kind}"
+    )
+    def test_training_completes_or_raises_classified(self, tiny_training, spec):
+        with chaos(spec, seed=3):
+            try:
+                with sanitize():
+                    losses = _train(tiny_training, epochs=2)
+            except CLASSIFIED:
+                return  # classified failure: acceptable outcome
+            except TimeoutError:
+                assert spec.error is TimeoutError  # the custom type we asked for
+                return
+        # Completed: the result must be sane, not silently poisoned.
+        assert len(losses) == 2
+        assert all(np.isfinite(losses))
+
+    def test_latency_fault_degrades_but_completes(self, tiny_training):
+        naps: list[float] = []
+        with chaos(
+            FaultSpec("train.batch", kind="latency", latency_ms=50.0, times=2),
+            sleep=naps.append,
+        ):
+            losses = _train(tiny_training, epochs=1)
+        assert len(naps) == 2
+        assert len(losses) == 1 and np.isfinite(losses[0])
+
+    def test_unfaulted_run_is_bitwise_unaffected_by_harness(self, tiny_training):
+        baseline = _train(tiny_training, epochs=1)
+        with chaos(FaultSpec("no.such.site")):
+            armed = _train(tiny_training, epochs=1)
+        assert baseline == armed

@@ -1,0 +1,263 @@
+"""Checkpoint durability tests: atomicity, corruption recovery, kill/resume.
+
+The headline guarantee: a ``train_rapid`` run killed mid-training and
+restarted with ``checkpoint=CheckpointConfig(...)`` reproduces the
+uninterrupted run's loss curve and final parameters **bit-identically**.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import RapidConfig, TrainConfig, make_rapid_variant, train_rapid
+from repro.data import RankingRequest
+from repro.nn.serialization import CheckpointCorruptError
+from repro.resilience import (
+    CheckpointConfig,
+    CheckpointManager,
+    FaultSpec,
+    chaos,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.utils.atomicio import checksum_sidecar_path, verify_checksum_sidecar
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def training_setup(taobao_world):
+    world = taobao_world
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    requests = []
+    for _ in range(12):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=10, replace=False)
+        clicks = (rng.random(10) < 0.3).astype(float)
+        requests.append(
+            RankingRequest(user, items, rng.normal(size=10), clicks=clicks)
+        )
+    config = RapidConfig(
+        user_dim=world.population.feature_dim,
+        item_dim=world.catalog.feature_dim,
+        num_topics=world.catalog.num_topics,
+        hidden=4,
+        seed=0,
+    )
+    return world, histories, requests, config
+
+
+def _fresh(training_setup):
+    """A new model + optimizer + rng triple (same seeds every call)."""
+    _, _, _, config = training_setup
+    model = make_rapid_variant("rapid-pro", config)
+    optimizer = nn.Adam(model.parameters(), lr=1e-2)
+    rng = make_rng(1)
+    return model, optimizer, rng
+
+
+def _train(training_setup, *, epochs: int, checkpoint=None):
+    world, histories, requests, config = training_setup
+    model = make_rapid_variant("rapid-pro", config)
+    losses = train_rapid(
+        model,
+        requests,
+        world.catalog,
+        world.population,
+        histories,
+        config=TrainConfig(epochs=epochs, batch_size=4, seed=0),
+        checkpoint=checkpoint,
+    )
+    return model, losses
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_everything(self, training_setup, tmp_path):
+        model, optimizer, rng = _fresh(training_setup)
+        rng.normal(size=7)  # move the generator off its seed state
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(
+            path,
+            model=model,
+            optimizer=optimizer,
+            epoch=3,
+            losses=[0.9, 0.8, 0.7, 0.65],
+            rng=rng,
+        )
+        assert checksum_sidecar_path(path).exists()
+        assert verify_checksum_sidecar(path) is True
+
+        ckpt = load_checkpoint(path)
+        assert ckpt.epoch == 3
+        assert ckpt.losses == [0.9, 0.8, 0.7, 0.65]
+        for name, array in model.state_dict().items():
+            np.testing.assert_array_equal(ckpt.model_state[name], array)
+        assert ckpt.rng_state == rng.bit_generator.state
+
+        # Restoring into fresh objects reproduces optimizer + rng exactly.
+        model2, optimizer2, rng2 = _fresh(training_setup)
+        model2.load_state_dict(ckpt.model_state)
+        optimizer2.load_state_dict(ckpt.optimizer_state)
+        rng2.bit_generator.state = ckpt.rng_state
+        assert optimizer2.state_dict()["step"] == optimizer.state_dict()["step"]
+        for mine, theirs in zip(
+            optimizer2.state_dict()["m"], optimizer.state_dict()["m"]
+        ):
+            np.testing.assert_array_equal(mine, theirs)
+        np.testing.assert_array_equal(rng2.normal(size=5), rng.normal(size=5))
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "absent.npz")
+
+    def test_checksum_mismatch_is_corrupt(self, training_setup, tmp_path):
+        model, optimizer, rng = _fresh(training_setup)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(
+            path, model=model, optimizer=optimizer, epoch=0, losses=[1.0], rng=rng
+        )
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # flip one byte mid-file
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError, match="checksum mismatch"):
+            load_checkpoint(path)
+
+    def test_truncated_archive_is_corrupt(self, training_setup, tmp_path):
+        model, optimizer, rng = _fresh(training_setup)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(
+            path, model=model, optimizer=optimizer, epoch=0, losses=[1.0], rng=rng
+        )
+        path.write_bytes(path.read_bytes()[:100])
+        checksum_sidecar_path(path).unlink()  # isolate the zip-level check
+        with pytest.raises(CheckpointCorruptError, match="unreadable archive"):
+            load_checkpoint(path)
+
+    def test_missing_version_field_is_corrupt(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(CheckpointCorruptError, match="format-version"):
+            load_checkpoint(path)
+
+    def test_newer_version_is_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            **{
+                "__format_version__": np.array(999, dtype=np.int64),
+                "meta/epoch": np.array(0),
+                "meta/losses": np.zeros(1),
+                "optim/__scalars__": np.array("{}"),
+            },
+        )
+        with pytest.raises(CheckpointCorruptError, match="newer than supported"):
+            load_checkpoint(path)
+
+
+class TestManager:
+    def test_save_cadence(self, tmp_path):
+        config = CheckpointConfig(directory=tmp_path, every_epochs=2)
+        manager = CheckpointManager(config)
+        assert [manager.should_save(e) for e in range(4)] == [
+            False,
+            True,
+            False,
+            True,
+        ]
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointConfig(directory=tmp_path, every_epochs=0)
+        with pytest.raises(ValueError):
+            CheckpointConfig(directory=tmp_path, keep_last=0)
+
+    def test_rotation_keeps_last_k(self, training_setup, tmp_path):
+        model, optimizer, rng = _fresh(training_setup)
+        manager = CheckpointManager(CheckpointConfig(directory=tmp_path, keep_last=2))
+        for epoch in range(5):
+            manager.save(
+                model=model,
+                optimizer=optimizer,
+                epoch=epoch,
+                losses=[0.5] * (epoch + 1),
+                rng=rng,
+            )
+        assert manager.epochs_on_disk() == [3, 4]
+        # Sidecars rotate with their archives.
+        sidecars = sorted(p.name for p in tmp_path.glob("*.sha256"))
+        assert sidecars == ["ckpt_000003.npz.sha256", "ckpt_000004.npz.sha256"]
+
+    def test_latest_quarantines_corrupt_and_falls_back(
+        self, training_setup, tmp_path
+    ):
+        model, optimizer, rng = _fresh(training_setup)
+        manager = CheckpointManager(CheckpointConfig(directory=tmp_path))
+        for epoch in range(2):
+            manager.save(
+                model=model, optimizer=optimizer, epoch=epoch, losses=[0.5], rng=rng
+            )
+        newest = manager.path_for(1)
+        newest.write_bytes(b"not a zip archive at all")
+        found = manager.latest()
+        assert found is not None
+        path, ckpt = found
+        assert ckpt.epoch == 0 and path == manager.path_for(0)
+        assert not newest.exists()
+        assert (tmp_path / "ckpt_000001.npz.corrupt").exists()
+        assert (tmp_path / "ckpt_000001.npz.sha256.corrupt").exists()
+
+    def test_restore_empty_directory_returns_none(self, training_setup, tmp_path):
+        model, optimizer, rng = _fresh(training_setup)
+        manager = CheckpointManager(CheckpointConfig(directory=tmp_path / "empty"))
+        assert manager.restore(model=model, optimizer=optimizer, rng=rng) is None
+
+    def test_no_temp_files_left_behind(self, training_setup, tmp_path):
+        model, optimizer, rng = _fresh(training_setup)
+        manager = CheckpointManager(CheckpointConfig(directory=tmp_path))
+        manager.save(model=model, optimizer=optimizer, epoch=0, losses=[1.0], rng=rng)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestKillResumeParity:
+    def test_killed_and_resumed_run_is_bit_identical(
+        self, training_setup, tmp_path
+    ):
+        """The acceptance criterion: loss curves agree to the last bit."""
+        _, reference_losses = _train(training_setup, epochs=4)
+
+        ckpt = CheckpointConfig(directory=tmp_path / "run")
+        with chaos(FaultSpec("train.epoch", after=2, times=1)):
+            with pytest.raises(Exception):
+                _train(training_setup, epochs=4, checkpoint=ckpt)
+
+        resumed_model, resumed_losses = _train(
+            training_setup, epochs=4, checkpoint=ckpt
+        )
+        assert resumed_losses == reference_losses  # exact, not approx
+
+        reference_model, _ = _train(training_setup, epochs=4)
+        for name, array in reference_model.state_dict().items():
+            np.testing.assert_array_equal(resumed_model.state_dict()[name], array)
+
+    def test_resume_skips_completed_epochs(self, training_setup, tmp_path):
+        ckpt = CheckpointConfig(directory=tmp_path / "run")
+        _train(training_setup, epochs=2, checkpoint=ckpt)
+        # Asking for 2 epochs again: everything is done, zero new epochs run.
+        manager = CheckpointManager(ckpt)
+        before = manager.epochs_on_disk()
+        _, losses = _train(training_setup, epochs=2, checkpoint=ckpt)
+        assert len(losses) == 2
+        assert manager.epochs_on_disk() == before
+
+    def test_resume_after_corrupt_latest_replays_from_predecessor(
+        self, training_setup, tmp_path
+    ):
+        _, reference_losses = _train(training_setup, epochs=3)
+        ckpt = CheckpointConfig(directory=tmp_path / "run")
+        _train(training_setup, epochs=2, checkpoint=ckpt)
+        manager = CheckpointManager(ckpt)
+        manager.path_for(1).write_bytes(b"bit rot")  # corrupt the newest
+        _, losses = _train(training_setup, epochs=3, checkpoint=ckpt)
+        assert losses == reference_losses

@@ -1,0 +1,430 @@
+"""Graceful-degradation tests: breaker state machine, fallbacks, chaos sweep.
+
+The headline guarantee (ISSUE acceptance criterion): with the primary
+RAPID model forced to time out, :class:`ResilientReranker` still returns a
+valid permutation for **every** request of a 500-request chaos sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RapidConfig, RapidReranker, TrainConfig
+from repro.data import RankingRequest, build_batch
+from repro.obs import MemorySink, RunLogger, get_registry, set_run_logger
+from repro.rerank import MMRReranker
+from repro.rerank.base import Reranker
+from repro.resilience import FaultSpec, chaos
+from repro.resilience.degrade import (
+    BREAKER_STATE_CODES,
+    CircuitBreaker,
+    ResilientReranker,
+    default_fallback_chain,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _requests(world, count: int, list_length: int = 8, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(world.config.num_items, size=list_length, replace=False)
+        out.append(RankingRequest(user, items, rng.normal(size=list_length)))
+    return out
+
+
+def _batch(world, histories, count: int = 8, seed: int = 0):
+    return build_batch(
+        _requests(world, count, seed=seed),
+        world.catalog,
+        world.population,
+        histories,
+    )
+
+
+def _rapid(world) -> RapidReranker:
+    config = RapidConfig(
+        user_dim=world.population.feature_dim,
+        item_dim=world.catalog.feature_dim,
+        num_topics=world.catalog.num_topics,
+        hidden=4,
+        seed=0,
+    )
+    return RapidReranker(config, train_config=TrainConfig(epochs=1, batch_size=8))
+
+
+def _assert_valid(result: np.ndarray, batch) -> None:
+    assert result.shape == (batch.batch_size, batch.list_length)
+    assert (np.sort(result, axis=1) == np.arange(batch.list_length)).all()
+
+
+class Boom(Reranker):
+    """A reranker that always raises (and counts its invocations)."""
+
+    name = "boom"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def rerank(self, batch) -> np.ndarray:
+        self.calls += 1
+        raise RuntimeError("kaboom")
+
+
+class Garbage(Reranker):
+    """Returns structurally invalid output (simulating a buggy model)."""
+
+    name = "garbage"
+
+    def __init__(self, shape_ok: bool = True) -> None:
+        self.shape_ok = shape_ok
+
+    def rerank(self, batch) -> np.ndarray:
+        if not self.shape_ok:
+            return np.zeros((1, 2), dtype=np.int64)
+        return np.zeros((batch.batch_size, batch.list_length), dtype=np.int64)
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two in a row
+
+    def test_half_open_after_recovery_then_closes_on_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.sleep(9.9)
+        assert breaker.state == "open"
+        clock.sleep(0.2)
+        assert breaker.state == "half_open" and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.sleep(6.0)
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        # The recovery window restarts from the reopen.
+        clock.sleep(4.0)
+        assert breaker.state == "open"
+
+    def test_multiple_probe_successes_required(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            recovery_seconds=1.0,
+            half_open_successes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.sleep(2.0)
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_publishes_state_gauge_and_transition_events(self):
+        get_registry().reset()
+        sink = MemorySink()
+        previous = set_run_logger(RunLogger(sink))
+        clock = FakeClock()
+        try:
+            breaker = CircuitBreaker(
+                failure_threshold=1, recovery_seconds=1.0, name="b", clock=clock
+            )
+            gauge = get_registry().gauge("resilience.breaker_state", breaker="b")
+            assert gauge.value == BREAKER_STATE_CODES["closed"]
+            breaker.record_failure()
+            assert gauge.value == BREAKER_STATE_CODES["open"]
+            clock.sleep(2.0)
+            assert breaker.state == "half_open"
+            assert gauge.value == BREAKER_STATE_CODES["half_open"]
+        finally:
+            set_run_logger(previous)
+        transitions = [
+            (e["old"], e["new"]) for e in sink.events("breaker.transition")
+        ]
+        assert transitions == [("closed", "open"), ("open", "half_open")]
+
+
+class TestResilientReranker:
+    def test_healthy_primary_serves_directly(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories)
+        get_registry().reset()
+        mmr = MMRReranker()
+        wrapped = ResilientReranker(MMRReranker(), fallbacks=[], deadline_ms=None)
+        result = wrapped.rerank(batch)
+        np.testing.assert_array_equal(result, mmr.rerank(batch))
+        # No fallback counters were touched.
+        fallbacks = [
+            m for m in get_registry().collect() if m["name"] == "resilience.fallbacks"
+        ]
+        assert fallbacks == []
+
+    def test_name_and_delegation(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories)
+        wrapped = ResilientReranker(MMRReranker(), fallbacks=[])
+        assert wrapped.name == "resilient-mmr"
+
+        class Scored(Reranker):
+            name = "scored"
+
+            def score_batch(self, batch):
+                return batch.initial_scores
+
+        np.testing.assert_allclose(
+            ResilientReranker(Scored(), fallbacks=[]).score_batch(batch),
+            batch.initial_scores,
+        )
+        # MMR builds lists greedily and exposes no scores: the delegation
+        # surfaces the primary's own NotImplementedError untouched.
+        with pytest.raises(NotImplementedError):
+            wrapped.score_batch(batch)
+
+    def test_golden_fallback_equals_plain_mmr_when_rapid_fails(
+        self, taobao_world
+    ):
+        """ISSUE golden test: forced RAPID failure degrades to exactly MMR."""
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories, count=12)
+        rapid = _rapid(world)
+        wrapped = ResilientReranker(
+            rapid, fallbacks=default_fallback_chain(tradeoff=0.8), deadline_ms=None
+        )
+        with chaos(FaultSpec("rerank.score.rapid-pro", times=None)) as plan:
+            degraded = wrapped.rerank(batch)
+        assert plan.fires() == 1
+        np.testing.assert_array_equal(
+            degraded, MMRReranker(tradeoff=0.8).rerank(batch)
+        )
+        # Without chaos the same wrapper serves RAPID's own slate again.
+        np.testing.assert_array_equal(wrapped.rerank(batch), rapid.rerank(batch))
+
+    def test_deadline_overrun_falls_back(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories)
+        clock = FakeClock()
+        mmr = MMRReranker()
+        wrapped = ResilientReranker(
+            _rapid(world),
+            fallbacks=[MMRReranker()],
+            deadline_ms=50.0,
+            clock=clock,
+        )
+        # A latency fault at the primary's fault point advances the same
+        # fake clock the wrapper's deadline check reads: RAPID "takes"
+        # 200 ms against a 50 ms budget, MMR takes zero.
+        with chaos(
+            FaultSpec(
+                "rerank.score.rapid-pro",
+                kind="latency",
+                latency_ms=200.0,
+                times=None,
+            ),
+            sleep=clock.sleep,
+        ):
+            result = wrapped.rerank(batch)
+        np.testing.assert_array_equal(result, mmr.rerank(batch))
+
+    def test_invalid_output_is_rejected(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories)
+        mmr = MMRReranker()
+        for garbage in (Garbage(shape_ok=True), Garbage(shape_ok=False)):
+            wrapped = ResilientReranker(
+                garbage, fallbacks=[MMRReranker()], deadline_ms=None
+            )
+            np.testing.assert_array_equal(wrapped.rerank(batch), mmr.rerank(batch))
+
+    def test_breaker_skips_doomed_primary(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories)
+        clock = FakeClock()
+        boom = Boom()
+        wrapped = ResilientReranker(
+            boom,
+            fallbacks=[MMRReranker()],
+            deadline_ms=None,
+            breaker=CircuitBreaker(failure_threshold=2, clock=clock),
+        )
+        get_registry().reset()
+        for _ in range(5):
+            _assert_valid(wrapped.rerank(batch), batch)
+        # Two real failures opened the breaker; the other three were skipped.
+        assert boom.calls == 2
+        assert wrapped.breaker.state == "open"
+        skipped = get_registry().counter(
+            "resilience.fallbacks", reranker=wrapped.name, to="mmr",
+            reason="breaker_open",
+        )
+        assert skipped.value == 3
+
+    def test_breaker_recovers_when_primary_heals(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories)
+        clock = FakeClock()
+        mmr = MMRReranker()
+        wrapped = ResilientReranker(
+            mmr,
+            fallbacks=[],
+            deadline_ms=None,
+            breaker=CircuitBreaker(
+                failure_threshold=1, recovery_seconds=5.0, clock=clock
+            ),
+        )
+        with chaos(FaultSpec("rerank.score.mmr", times=1)):
+            _assert_valid(wrapped.rerank(batch), batch)  # passthrough served
+        assert wrapped.breaker.state == "open"
+        clock.sleep(6.0)  # recovery window elapses → half-open probe
+        result = wrapped.rerank(batch)
+        np.testing.assert_array_equal(result, MMRReranker().rerank(batch))
+        assert wrapped.breaker.state == "closed"
+
+    def test_fallback_telemetry(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+        batch = _batch(world, histories)
+        get_registry().reset()
+        sink = MemorySink()
+        previous = set_run_logger(RunLogger(sink))
+        try:
+            wrapped = ResilientReranker(
+                Boom(), fallbacks=[MMRReranker()], deadline_ms=None
+            )
+            wrapped.rerank(batch)
+        finally:
+            set_run_logger(previous)
+        (event,) = sink.events("degrade.fallback")
+        assert event["failed_stage"] == "boom"
+        assert event["next_stage"] == "mmr"
+        assert event["reason"] == "RuntimeError"
+        requests = get_registry().counter(
+            "resilience.requests", reranker="resilient-boom"
+        )
+        assert requests.value == 1
+
+    def test_fit_trains_trainable_stages(self, taobao_world):
+        world = taobao_world
+        histories = world.sample_histories()
+
+        class Trainable(Reranker):
+            name = "trainable"
+            requires_training = True
+
+            def __init__(self) -> None:
+                self.fitted = 0
+
+            def fit(self, requests, catalog, population, histories):
+                self.fitted += 1
+                return self
+
+            def rerank(self, batch):
+                return np.tile(
+                    np.arange(batch.list_length), (batch.batch_size, 1)
+                )
+
+        primary, fallback = Trainable(), Trainable()
+        wrapped = ResilientReranker(primary, fallbacks=[fallback, MMRReranker()])
+        assert wrapped.requires_training
+        requests = _requests(world, 4)
+        wrapped.fit(requests, world.catalog, world.population, histories)
+        assert primary.fitted == 1 and fallback.fitted == 1
+
+
+class TestChaosSweep:
+    def test_500_request_sweep_always_serves_valid_permutations(
+        self, taobao_world
+    ):
+        """RAPID times out on every request; MMR itself fails 30% of the
+        time — every one of the 500 requests must still get a valid slate."""
+        world = taobao_world
+        histories = world.sample_histories()
+        clock = FakeClock()
+        wrapped = ResilientReranker(
+            _rapid(world),
+            fallbacks=default_fallback_chain(),
+            deadline_ms=50.0,
+            breaker=CircuitBreaker(
+                failure_threshold=5, recovery_seconds=1e9, clock=clock
+            ),
+            clock=clock,
+        )
+        get_registry().reset()
+        served = 0
+        with chaos(
+            FaultSpec(
+                "rerank.score.rapid-pro",
+                kind="latency",
+                latency_ms=200.0,
+                times=None,
+            ),
+            FaultSpec("rerank.score.mmr", probability=0.3, times=None),
+            seed=11,
+            sleep=clock.sleep,
+        ) as plan:
+            for index in range(25):  # 25 batches x 20 requests = 500
+                batch = _batch(world, histories, count=20, seed=index)
+                result = wrapped.rerank(batch)
+                _assert_valid(result, batch)
+                served += batch.batch_size
+        assert served == 500
+        # The sweep really exercised the chain: the primary either timed out
+        # or was breaker-skipped on every request, and MMR faults pushed a
+        # tail of requests down to the passthrough.
+        assert plan.fires("rerank.score.mmr") > 0
+        passthrough = get_registry().counter(
+            "resilience.fallbacks",
+            reranker=wrapped.name,
+            to="passthrough",
+            reason="InjectedFault",
+        )
+        assert passthrough.value == plan.fires("rerank.score.mmr")

@@ -1,0 +1,60 @@
+"""Smoke-test wiring for ``benchmarks/bench_resilience_overhead.py``.
+
+Runs the microbenchmark's machinery and checks structure only — no
+wall-clock assertions, so the suite stays deterministic on busy machines.
+The real <5% disabled-residue gates run via
+``python benchmarks/bench_resilience_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.resilience import chaos_active
+
+_BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    sys.path.insert(0, str(_BENCH_DIR))  # for its `from bench_utils import ...`
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "bench_resilience_overhead", _BENCH_DIR / "bench_resilience_overhead.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(_BENCH_DIR))
+
+
+@pytest.mark.bench
+@pytest.mark.slow
+def test_measure_reports_structure_and_restores_state(bench):
+    result = bench.measure()
+    assert set(result) == {
+        "train_baseline_ms_per_batch",
+        "train_disarmed_ms_per_batch",
+        "train_disabled_overhead_fraction",
+        "rerank_baseline_ms_per_request",
+        "rerank_disarmed_ms_per_request",
+        "rerank_disabled_overhead_fraction",
+        "rerank_wrapped_ms_per_request",
+        "wrapper_overhead_fraction",
+    }
+    assert result["train_baseline_ms_per_batch"] > 0.0
+    assert result["rerank_baseline_ms_per_request"] > 0.0
+    assert np.isfinite(result["wrapper_overhead_fraction"])
+    # The bench must leave the process disarmed for the rest of the suite.
+    assert not chaos_active()
+
+
+def test_budget_constants_are_five_percent(bench):
+    assert bench.MAX_DISABLED_OVERHEAD == pytest.approx(0.05)
+    assert bench.MAX_WRAPPER_OVERHEAD == pytest.approx(0.05)

@@ -1,0 +1,213 @@
+"""Retry policy tests: classification, jittered backoff, budgets, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MemorySink, RunLogger, get_registry, set_run_logger
+from repro.resilience import (
+    DEFAULT_IO_POLICY,
+    InjectedFault,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    call_with_retry,
+    retry,
+)
+
+
+class FakeClock:
+    """Monotonic clock advanced manually (or by the paired sleeper)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Flaky:
+    """Fails ``failures`` times with ``error``, then returns ``value``."""
+
+    def __init__(self, failures: int, error: Exception, value: str = "ok") -> None:
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_classification(self):
+        policy = RetryPolicy(fatal=(ValueError,), retryable=(OSError,))
+        assert policy.classify(ValueError()) == "fatal"
+        assert policy.classify(OSError()) == "retryable"
+        assert policy.classify(KeyError()) == "fatal"  # unknown → fatal
+        lax = RetryPolicy(retry_unknown=True)
+        assert lax.classify(KeyError()) == "retryable"
+
+    def test_fatal_wins_over_retryable_subclass(self):
+        # FileNotFoundError is an OSError; listing it fatal pins it fatal.
+        policy = RetryPolicy(retryable=(OSError,), fatal=(FileNotFoundError,))
+        assert policy.classify(FileNotFoundError()) == "fatal"
+
+    def test_default_io_policy_retries_injected_faults(self):
+        assert DEFAULT_IO_POLICY.classify(InjectedFault("data.load")) == "retryable"
+        assert DEFAULT_IO_POLICY.classify(ValueError("bad schema")) == "fatal"
+
+
+class TestCallWithRetry:
+    def test_success_first_try_no_sleep(self):
+        clock = FakeClock()
+        result = call_with_retry(
+            lambda: "ok", policy=RetryPolicy(), sleep=clock.sleep, clock=clock
+        )
+        assert result == "ok" and clock.now == 0.0
+
+    def test_succeeds_after_transient_failures(self):
+        clock = FakeClock()
+        flaky = Flaky(2, OSError("disk hiccup"))
+        result = call_with_retry(
+            flaky,
+            policy=RetryPolicy(max_attempts=3),
+            site="t",
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        assert result == "ok" and flaky.calls == 3
+
+    def test_budget_exhausted_wraps_last_error(self):
+        clock = FakeClock()
+        flaky = Flaky(10, OSError("still down"))
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            call_with_retry(
+                flaky,
+                policy=RetryPolicy(max_attempts=4),
+                site="t",
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert flaky.calls == 4
+        assert excinfo.value.attempts == 4
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_fatal_error_propagates_immediately(self):
+        flaky = Flaky(10, ValueError("bad shape"))
+        with pytest.raises(ValueError, match="bad shape"):
+            call_with_retry(flaky, policy=RetryPolicy(max_attempts=5))
+        assert flaky.calls == 1
+
+    def test_decorrelated_jitter_stays_in_envelope(self):
+        clock = FakeClock()
+        naps: list[float] = []
+
+        def sleep(seconds: float) -> None:
+            naps.append(seconds)
+            clock.sleep(seconds)
+
+        policy = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.1, seed=1)
+        with pytest.raises(RetryBudgetExceeded):
+            call_with_retry(
+                Flaky(10, OSError()), policy=policy, sleep=sleep, clock=clock
+            )
+        assert len(naps) == 5  # no sleep after the final attempt
+        previous = policy.base_delay
+        for nap in naps:
+            assert policy.base_delay <= nap <= min(policy.max_delay, 3.0 * previous)
+            previous = nap
+
+    def test_backoff_is_seed_deterministic(self):
+        def delays(seed: int) -> list[float]:
+            clock = FakeClock()
+            naps: list[float] = []
+
+            def sleep(seconds: float) -> None:
+                naps.append(seconds)
+                clock.sleep(seconds)
+
+            policy = RetryPolicy(max_attempts=5, seed=seed)
+            with pytest.raises(RetryBudgetExceeded):
+                call_with_retry(
+                    Flaky(10, OSError()), policy=policy, sleep=sleep, clock=clock
+                )
+            return naps
+
+        assert delays(3) == delays(3)
+        assert delays(3) != delays(4)
+
+    def test_deadline_cuts_attempts_short(self):
+        clock = FakeClock()
+
+        def failing() -> None:
+            clock.sleep(0.6)  # each attempt burns wall clock
+            raise OSError("slow")
+
+        policy = RetryPolicy(max_attempts=10, deadline=1.0)
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            call_with_retry(failing, policy=policy, sleep=clock.sleep, clock=clock)
+        assert excinfo.value.attempts == 2  # 1.2s elapsed > 1.0s deadline
+        assert excinfo.value.elapsed >= 1.0
+
+    def test_retry_emits_counter_and_runlog_events(self):
+        get_registry().reset()
+        sink = MemorySink()
+        previous = set_run_logger(RunLogger(sink))
+        clock = FakeClock()
+        try:
+            call_with_retry(
+                Flaky(2, OSError("blip")),
+                policy=RetryPolicy(max_attempts=3),
+                site="data.load",
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        finally:
+            set_run_logger(previous)
+        counter = get_registry().counter("resilience.retries", site="data.load")
+        assert counter.value == 2
+        events = sink.events("retry.attempt")
+        assert [e["attempt"] for e in events] == [1, 2]
+        assert all(e["error"] == "OSError" for e in events)
+
+
+class TestDecorator:
+    def test_decorator_retries_and_exposes_policy(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3)
+        state = {"calls": 0}
+
+        @retry(policy, site="decorated", sleep=clock.sleep, clock=clock)
+        def sometimes(value: int) -> int:
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise OSError("transient")
+            return value * 2
+
+        assert sometimes(21) == 42
+        assert state["calls"] == 3
+        assert sometimes._retry_policy is policy
+
+    def test_site_defaults_to_qualname(self):
+        get_registry().reset()
+        clock = FakeClock()
+
+        @retry(RetryPolicy(max_attempts=2), sleep=clock.sleep, clock=clock)
+        def wobbly():
+            raise OSError("nope")
+
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            wobbly()
+        assert "wobbly" in excinfo.value.site

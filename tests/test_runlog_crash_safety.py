@@ -1,0 +1,87 @@
+"""Run-log crash safety: kill-mid-run replayability and torn-tail handling.
+
+The contract (documented in ``repro.obs.runlog``): JsonlSink flushes after
+every record, so a process killed at an arbitrary point leaves a log whose
+complete lines replay exactly the events that finished — at worst the
+final line is torn, and ``read_jsonl(strict=False)`` drops only that.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import JsonlSink, RunLogger, read_jsonl
+
+KILLED_WRITER = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.obs import JsonlSink, RunLogger
+
+logger = RunLogger(JsonlSink({path!r}, fsync={fsync}), run_id="killed")
+for step in range({events}):
+    logger.log("step", step=step)
+# Die without closing, flushing, or unwinding anything: the hardest exit
+# available to a process short of SIGKILL.
+os._exit(1)
+"""
+
+
+def _run_killed_writer(tmp_path, events: int = 25, fsync: bool = False) -> Path:
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    path = tmp_path / "run.jsonl"
+    script = KILLED_WRITER.format(
+        src=src, path=str(path), fsync=fsync, events=events
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True
+    )
+    assert proc.returncode == 1, proc.stderr
+    return path
+
+
+class TestKillMidRun:
+    @pytest.mark.parametrize("fsync", [False, True])
+    def test_all_logged_events_survive_hard_exit(self, tmp_path, fsync):
+        path = _run_killed_writer(tmp_path, events=25, fsync=fsync)
+        records = read_jsonl(path)
+        assert [r["step"] for r in records] == list(range(25))
+        assert all(r["run_id"] == "killed" for r in records)
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = _run_killed_writer(tmp_path, events=10)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"ts": 1.0, "event": "torn", "ste')  # no newline
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)  # strict default refuses silent data loss
+        records = read_jsonl(path, strict=False)
+        assert [r["step"] for r in records] == list(range(10))
+
+    def test_torn_middle_line_still_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "a"}\n{"torn\n{"event": "b"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path, strict=False)  # mid-file corruption is real
+
+
+class TestJsonlSink:
+    def test_append_preserves_previous_runs(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for run in range(2):
+            logger = RunLogger(JsonlSink(path), run_id=f"run{run}")
+            logger.log("start")
+            logger.close()
+        records = read_jsonl(path)
+        assert [r["run_id"] for r in records] == ["run0", "run1"]
+
+    def test_fsync_sink_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        logger = RunLogger(JsonlSink(path, fsync=True), run_id="durable")
+        logger.log("only", value=7)
+        # Readable *before* close: the flush+fsync already landed it.
+        assert read_jsonl(path)[0]["value"] == 7
+        logger.close()

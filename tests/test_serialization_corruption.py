@@ -1,0 +1,128 @@
+"""Typed corruption errors and atomic writes for module state archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import (
+    FORMAT_VERSION,
+    VERSION_KEY,
+    CheckpointCorruptError,
+    load_module,
+    read_state_archive,
+    save_module,
+)
+from repro.utils import atomicio
+
+
+def _mlp(seed: int = 0) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    model = nn.Sequential(nn.Linear(4, 8), nn.Linear(8, 2))
+    for param in model.parameters():
+        param.data[...] = rng.normal(size=param.data.shape)
+    return model
+
+
+class TestVersionedArchives:
+    def test_round_trip_and_version_field(self, tmp_path):
+        model = _mlp()
+        path = save_module(model, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            assert int(archive[VERSION_KEY]) == FORMAT_VERSION
+        other = _mlp(seed=9)
+        load_module(other, path)
+        for mine, theirs in zip(other.parameters(), model.parameters()):
+            np.testing.assert_array_equal(mine.data, theirs.data)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_state_archive(tmp_path / "nope.npz")
+
+    def test_garbage_bytes_raise_typed_error(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not an archive")
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            read_state_archive(path)
+        assert excinfo.value.path == path
+        assert "unreadable archive" in excinfo.value.reason
+
+    def test_truncated_archive_raises_typed_error(self, tmp_path):
+        model = _mlp()
+        path = save_module(model, tmp_path / "model.npz")
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(CheckpointCorruptError, match="unreadable archive"):
+            load_module(_mlp(), path)
+
+    def test_unversioned_archive_rejected(self, tmp_path):
+        path = tmp_path / "old.npz"
+        np.savez(path, **dict(_mlp().state_dict()))  # a pre-v1 style file
+        with pytest.raises(CheckpointCorruptError, match="format-version"):
+            read_state_archive(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        state = dict(_mlp().state_dict())
+        state[VERSION_KEY] = np.array(FORMAT_VERSION + 1, dtype=np.int64)
+        np.savez(path, **state)
+        with pytest.raises(CheckpointCorruptError, match="newer than supported"):
+            read_state_archive(path)
+
+
+class TestAtomicWrites:
+    def test_failed_write_preserves_previous_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.bin"
+        atomicio.atomic_write_bytes(path, b"generation-1")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(atomicio.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            atomicio.atomic_write_bytes(path, b"generation-2")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"generation-1"
+        assert list(tmp_path.glob("*.tmp")) == []  # temp cleaned up
+
+    def test_atomic_savez_overwrites_in_one_step(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        atomicio.atomic_savez(path, {"x": np.arange(3)})
+        atomicio.atomic_savez(path, {"x": np.arange(5)})
+        with np.load(path) as archive:
+            assert archive["x"].shape == (5,)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_checksum_sidecar_lifecycle(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        assert atomicio.verify_checksum_sidecar(path) is None  # no sidecar
+        atomicio.atomic_savez(path, {"x": np.arange(3)}, checksum=True)
+        assert atomicio.verify_checksum_sidecar(path) is True
+        path.write_bytes(path.read_bytes() + b"tamper")
+        assert atomicio.verify_checksum_sidecar(path) is False
+
+    def test_sidecar_names_the_file(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        atomicio.atomic_savez(path, {"x": np.arange(3)}, checksum=True)
+        sidecar = atomicio.checksum_sidecar_path(path)
+        digest, name = sidecar.read_text().split()
+        assert name == "arrays.npz"
+        assert digest == atomicio.sha256_of_file(path)
+
+    def test_save_module_is_atomic_and_leaves_no_temp(self, tmp_path):
+        save_module(_mlp(), tmp_path / "model.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_fsync_false_skips_syscall(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            atomicio.os, "fsync", lambda fd: calls.append(fd) or real_fsync(fd)
+        )
+        atomicio.atomic_write_bytes(tmp_path / "a.bin", b"x", fsync=False)
+        assert calls == []
+        atomicio.atomic_write_bytes(tmp_path / "b.bin", b"x", fsync=True)
+        assert len(calls) >= 1
