@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 
-from bench_utils import publish_benchmark
+from bench_utils import interleaved_min_of_k, publish_benchmark
 
 from repro.core.rapid import RapidConfig, make_rapid_variant
 from repro.core.trainer import TrainConfig, train_rapid
@@ -140,27 +140,35 @@ def measure() -> dict[str, float]:
 
     # Full arm/disarm cycle (including a nan spec, so the op-dispatch
     # surface is wrapped and unwrapped) between the baseline and disarmed
-    # samples: any residue is exactly what the gates exist for.
-    train_baseline = train_disarmed = float("inf")
-    rerank_baseline = rerank_disarmed = rerank_wrapped = float("inf")
-    for _ in range(REPEATS):
-        train_baseline = min(train_baseline, best_batch_seconds(bundle))
-        rerank_baseline = min(rerank_baseline, best_rerank_seconds(primary, batch))
-        _cycle_chaos()
-        train_disarmed = min(train_disarmed, best_batch_seconds(bundle))
-        rerank_disarmed = min(rerank_disarmed, best_rerank_seconds(primary, batch))
-        rerank_wrapped = min(rerank_wrapped, best_rerank_seconds(resilient, batch))
+    # samples: any residue is exactly what the gates exist for.  The
+    # interleaved min-of-k protocol lives in ``bench_utils``.
+    best = interleaved_min_of_k(
+        [
+            ("train_baseline", lambda: best_batch_seconds(bundle)),
+            ("rerank_baseline", lambda: best_rerank_seconds(primary, batch)),
+            (None, _cycle_chaos),
+            ("train_disarmed", lambda: best_batch_seconds(bundle)),
+            ("rerank_disarmed", lambda: best_rerank_seconds(primary, batch)),
+            ("rerank_wrapped", lambda: best_rerank_seconds(resilient, batch)),
+        ],
+        repeats=REPEATS,
+    )
 
     return {
-        "train_baseline_ms_per_batch": 1e3 * train_baseline,
-        "train_disarmed_ms_per_batch": 1e3 * train_disarmed,
-        "train_disabled_overhead_fraction": train_disarmed / train_baseline - 1.0,
-        "rerank_baseline_ms_per_request": 1e3 * rerank_baseline,
-        "rerank_disarmed_ms_per_request": 1e3 * rerank_disarmed,
-        "rerank_disabled_overhead_fraction": rerank_disarmed / rerank_baseline
+        "train_baseline_ms_per_batch": 1e3 * best["train_baseline"],
+        "train_disarmed_ms_per_batch": 1e3 * best["train_disarmed"],
+        "train_disabled_overhead_fraction": best["train_disarmed"]
+        / best["train_baseline"]
         - 1.0,
-        "rerank_wrapped_ms_per_request": 1e3 * rerank_wrapped,
-        "wrapper_overhead_fraction": rerank_wrapped / rerank_disarmed - 1.0,
+        "rerank_baseline_ms_per_request": 1e3 * best["rerank_baseline"],
+        "rerank_disarmed_ms_per_request": 1e3 * best["rerank_disarmed"],
+        "rerank_disabled_overhead_fraction": best["rerank_disarmed"]
+        / best["rerank_baseline"]
+        - 1.0,
+        "rerank_wrapped_ms_per_request": 1e3 * best["rerank_wrapped"],
+        "wrapper_overhead_fraction": best["rerank_wrapped"]
+        / best["rerank_disarmed"]
+        - 1.0,
     }
 
 

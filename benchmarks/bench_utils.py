@@ -22,6 +22,10 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 TRAJECTORY_PATH = RESULTS_DIR / "trajectory.jsonl"
 
+# History depth per benchmark tag: enough for the regression sentinel
+# (newest vs prior) plus a little trend context, without unbounded growth.
+TRAJECTORY_KEEP = 5
+
 PROFILES = {
     "quick": dict(
         scale="tiny",
@@ -96,31 +100,60 @@ def publish_benchmark(tag: str, payload: dict) -> Path:
     """Persist a machine-readable benchmark record and extend the trajectory.
 
     Writes ``BENCH_<tag>.json`` at the repo root (the per-PR snapshot) and
-    upserts the same record into ``benchmarks/results/trajectory.jsonl``
-    keyed by ``tag`` — re-running a benchmark replaces its own line while
-    records from other PRs are preserved, so the perf trajectory
-    accumulates across PRs instead of being overwritten.
+    appends the same record to ``benchmarks/results/trajectory.jsonl``,
+    keeping the last :data:`TRAJECTORY_KEEP` entries per ``tag`` — the
+    per-tag history the regression sentinel (``repro.obs.regress``)
+    compares newest-vs-prior over.
+
+    After publishing, the sentinel checks this tag and prints its verdict.
+    By default a regression only warns (benchmarks re-run on different
+    machines drift); set ``REPRO_BENCH_REGRESS=strict`` to make it raise.
     """
     record = {"tag": tag, **payload}
     snapshot = REPO_ROOT / f"BENCH_{tag}.json"
     snapshot.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     append_trajectory(record)
+    _sentinel_check(tag)
     return snapshot
 
 
+def _sentinel_check(tag: str) -> None:
+    """Run the regression sentinel for one tag; warn or (strict) raise."""
+    from repro.obs import regress
+
+    report = regress.check_trajectory(TRAJECTORY_PATH, tags=[tag])
+    if report.ok:
+        if report.compared_tags:
+            print(f"regress sentinel: OK ({tag} vs prior entry)")
+        return
+    lines = "\n".join(row.describe() for row in report.regressions)
+    message = f"regress sentinel: REGRESSION in {tag}:\n{lines}"
+    if os.environ.get("REPRO_BENCH_REGRESS") == "strict":
+        raise AssertionError(message)
+    print(message)
+    print("(warning only; set REPRO_BENCH_REGRESS=strict to fail on this)")
+
+
 def append_trajectory(record: dict) -> None:
-    """Upsert ``record`` (keyed by its ``tag``) into the trajectory JSONL."""
+    """Append ``record`` to the trajectory, keeping per-tag history.
+
+    Earlier records of the same tag are preserved (chronological order,
+    oldest first) up to :data:`TRAJECTORY_KEEP`; records of other tags are
+    untouched.
+    """
     tag = record.get("tag")
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     rows: list[dict] = []
     if TRAJECTORY_PATH.exists():
         for line in TRAJECTORY_PATH.read_text().splitlines():
-            if not line.strip():
-                continue
-            row = json.loads(line)
-            if row.get("tag") != tag:
-                rows.append(row)
+            if line.strip():
+                rows.append(json.loads(line))
     rows.append(record)
+    tag_rows = [row for row in rows if row.get("tag") == tag]
+    drop = len(tag_rows) - TRAJECTORY_KEEP
+    if drop > 0:
+        doomed = {id(row) for row in tag_rows[:drop]}
+        rows = [row for row in rows if id(row) not in doomed]
     TRAJECTORY_PATH.write_text(
         "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
     )
@@ -159,3 +192,37 @@ def bench_timer(stage: str, **labels):
         bench_histogram(stage, **labels).observe(
             1000.0 * (time.perf_counter() - start)
         )
+
+
+def interleaved_min_of_k(steps, repeats: int = 5) -> dict[str, float]:
+    """Interleaved min-of-k measurement over named steps.
+
+    ``steps`` is a sequence of ``(name, fn)`` pairs.  A named ``fn``
+    returns one measured duration in **seconds** (typically itself a
+    minimum over inner rounds); a pair with ``name=None`` is a side
+    effect (an arm/disarm or enable/disable cycle) whose return value is
+    ignored.  All steps run in order, ``repeats`` times, and the result
+    maps each name to its minimum across repeats.
+
+    Why this shape: the *minimum* observed latency isolates the cost of
+    the code path itself (scheduler preemption and cache pollution only
+    ever make a sample slower), and *interleaving* the compared
+    conditions puts slow machine drift on both sides of every ratio.
+    Measuring condition A's k rounds and then condition B's — the
+    pattern this helper replaces — lets a background compile or thermal
+    ramp land entirely on one side, which is how overhead fractions go
+    negative.
+    """
+    steps = list(steps)
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    names = [name for name, _ in steps if name is not None]
+    if len(names) != len(set(names)):
+        raise ValueError("step names must be unique")
+    best: dict[str, float] = {name: float("inf") for name in names}
+    for _ in range(repeats):
+        for name, fn in steps:
+            value = fn()
+            if name is not None:
+                best[name] = min(best[name], float(value))
+    return best

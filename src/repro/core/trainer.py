@@ -19,6 +19,7 @@ from .. import nn
 from ..data.batching import RerankBatch, iterate_batches
 from ..data.schema import Catalog, Population, RankingRequest
 from ..obs import RunLogger, get_registry, get_run_logger, trace
+from ..obs import windows as _windows
 from ..rerank.base import Reranker
 from ..resilience.chaos import faultpoint
 from ..resilience.checkpoint import CheckpointConfig, CheckpointManager
@@ -142,6 +143,11 @@ def train_rapid(
                         optimizer.step()
                         batch_seconds = time.perf_counter() - start
                     batch_hist.observe(1000.0 * batch_seconds)
+                    # Windowed twin + throughput meter (no-ops when windowed
+                    # metrics are off): recent batch latency percentiles and
+                    # a lists/s EWMA for long training runs.
+                    _windows.observe("train.batch_ms", 1000.0 * batch_seconds)
+                    _windows.mark("train.lists", batch.batch_size)
                     if timings is not None:
                         timings.add(batch_seconds)
                     epoch_losses.append(loss.item())

@@ -36,6 +36,7 @@ from ..data import (
 )
 from ..metrics import clicks_at_k, div_at_k, ndcg_at_k, revenue_at_k, satis_at_k
 from ..obs import get_registry, get_run_logger, trace
+from ..obs import windows as _windows
 from ..rankers import DINRanker, InitialRanker, LambdaMARTRanker, SVMRankRanker
 from ..rerank import (
     AdaptiveMMRReranker,
@@ -270,6 +271,10 @@ def evaluate_reranker(
                     else reranker.rerank(batch)
                 )
             rerank_seconds += span.duration_s
+            _windows.observe(
+                "eval.rerank_batch_ms", span.duration_ms, model=model_name
+            )
+            _windows.mark("eval.lists", len(chunk), model=model_name)
             permutations.extend(perm[row] for row in range(len(chunk)))
 
     faultpoint("eval.metrics")

@@ -1,16 +1,33 @@
 """``repro.obs`` — observability for the RAPID reproduction stack.
 
-Four cooperating pieces (each usable alone):
+Cooperating pieces (each usable alone):
 
 - :mod:`repro.obs.metrics` — process-global registry of counters, gauges,
-  and histograms (p50/p95/p99), with labeled series;
-- :mod:`repro.obs.tracing` — nested wall-clock spans via ``trace(name)``,
-  exportable as a text tree or Chrome ``trace_event`` JSON;
+  and histograms (p50/p95/p99), with labeled series and a cardinality cap
+  (overflow label sets collapse into one ``overflow="true"`` series,
+  counted in ``obs.dropped_series``);
+- :mod:`repro.obs.windows` — **opt-in** sliding-window histograms and
+  EWMA rate meters, so long-lived serving processes report *recent*
+  p50/p95/p99 and per-second rates instead of lifetime aggregates;
+- :mod:`repro.obs.tracing` — nested wall-clock spans via ``trace(name)``
+  with trace/span/parent ids, exportable as a text tree or Chrome
+  ``trace_event`` JSON;
+- :mod:`repro.obs.context` — trace-context propagation across threads and
+  ``multiprocessing`` workers, plus cross-process span-buffer merging
+  into one Chrome trace;
 - :mod:`repro.obs.runlog` — structured JSONL event log with a **null sink
-  by default**, so importing and running the library stays silent and free
-  of file I/O until a caller opts in;
+  by default** and optional size-based rotation, so importing and running
+  the library stays silent and free of file I/O until a caller opts in;
+- :mod:`repro.obs.export` — OpenMetrics text exposition and periodic
+  atomic JSON snapshots of the whole registry;
+- :mod:`repro.obs.slo` — declarative SLOs evaluated as multi-window burn
+  rates, publishing ``obs.slo.*`` gauges and alert events;
+- :mod:`repro.obs.profiler` — opt-in background stack-sampling profiler
+  with collapsed-stack (flamegraph) export;
 - :mod:`repro.obs.autograd` — opt-in per-op forward/backward profiler for
-  the ``repro.nn`` autograd engine.
+  the ``repro.nn`` autograd engine;
+- :mod:`repro.obs.regress` — benchmark-regression sentinel over
+  ``benchmarks/results/trajectory.jsonl`` (``python -m repro.obs.regress``).
 
 The one-liner for scripts is :func:`observed_run`::
 
@@ -34,6 +51,21 @@ from .autograd import (
     profile_ops,
     reset_op_stats,
 )
+from .context import (
+    TraceContext,
+    current_context,
+    merge_span_records,
+    propagated,
+    span_records,
+    use_context,
+    write_chrome_trace,
+)
+from .export import (
+    SnapshotExporter,
+    render_openmetrics,
+    write_openmetrics,
+    write_snapshot,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -42,6 +74,13 @@ from .metrics import (
     get_registry,
     reset_registry,
 )
+from .profiler import (
+    SamplingProfiler,
+    get_profiler,
+    sampling_profile,
+    start_sampling,
+    stop_sampling,
+)
 from .runlog import (
     JsonlSink,
     MemorySink,
@@ -49,9 +88,27 @@ from .runlog import (
     RunLogger,
     get_run_logger,
     read_jsonl,
+    read_jsonl_rotated,
     set_run_logger,
 )
+from .slo import (
+    DEFAULT_BURN_WINDOWS,
+    SLO,
+    BurnWindow,
+    SLOMonitor,
+    SLOStatus,
+    serving_slo,
+)
 from .tracing import Span, Tracer, get_tracer, reset_tracer, trace
+from .windows import (
+    EwmaMeter,
+    WindowedCounter,
+    WindowedHistogram,
+    disable_windowed,
+    enable_windowed,
+    windowed_enabled,
+    windowed_metrics,
+)
 
 __all__ = [
     "Counter",
@@ -60,11 +117,25 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "reset_registry",
+    "WindowedHistogram",
+    "WindowedCounter",
+    "EwmaMeter",
+    "enable_windowed",
+    "disable_windowed",
+    "windowed_enabled",
+    "windowed_metrics",
     "Span",
     "Tracer",
     "trace",
     "get_tracer",
     "reset_tracer",
+    "TraceContext",
+    "current_context",
+    "use_context",
+    "propagated",
+    "span_records",
+    "merge_span_records",
+    "write_chrome_trace",
     "NullSink",
     "MemorySink",
     "JsonlSink",
@@ -72,6 +143,22 @@ __all__ = [
     "get_run_logger",
     "set_run_logger",
     "read_jsonl",
+    "read_jsonl_rotated",
+    "render_openmetrics",
+    "write_openmetrics",
+    "write_snapshot",
+    "SnapshotExporter",
+    "SLO",
+    "BurnWindow",
+    "SLOMonitor",
+    "SLOStatus",
+    "serving_slo",
+    "DEFAULT_BURN_WINDOWS",
+    "SamplingProfiler",
+    "sampling_profile",
+    "start_sampling",
+    "stop_sampling",
+    "get_profiler",
     "enable_op_profiler",
     "disable_op_profiler",
     "is_op_profiler_enabled",
@@ -84,12 +171,13 @@ __all__ = [
 
 
 def flush_observability(logger: RunLogger | None = None) -> None:
-    """Dump spans, autograd op stats, and the metrics snapshot to the log.
+    """Dump spans, op stats, profiler stacks, and metrics to the run log.
 
     Emits one ``span`` event per distinct span path (aggregated count and
-    total duration), one ``autograd.op`` event per profiled op, and one
-    ``metric`` event per registry series.  A null-sink logger makes this a
-    no-op.
+    total duration), one ``autograd.op`` event per profiled op, one
+    ``profiler.stack`` event per sampled stack (top 50, if the sampling
+    profiler ran), and one ``metric`` event per registry series.  A
+    null-sink logger makes this a no-op.
     """
     logger = logger if logger is not None else get_run_logger()
     if not logger.active:
@@ -112,6 +200,16 @@ def flush_observability(logger: RunLogger | None = None) -> None:
         )
     for row in op_stats():
         logger.log("autograd.op", **row)
+    profiler = get_profiler()
+    if profiler is not None and profiler.samples:
+        for stack, count in profiler.stack_counts()[:50]:
+            logger.log(
+                "profiler.stack",
+                stack=";".join(stack),
+                leaf=stack[-1],
+                samples=count,
+                total_samples=profiler.samples,
+            )
     for snapshot in get_registry().collect():
         logger.log("metric", **snapshot)
 

@@ -1,0 +1,213 @@
+"""Cross-thread and cross-process trace context propagation and merging.
+
+A :class:`TraceContext` names a position in a trace — ``(trace_id,
+span_id)`` — in a form that serializes through pickle, JSON, or a plain
+string header.  Installing one with :func:`use_context` makes the next
+root span opened on that thread a **child** of the remote span instead of
+a fresh trace, which is how one logical request keeps a single trace tree
+across thread pools and ``multiprocessing`` workers:
+
+Parent process::
+
+    with trace("serve.request") as span:
+        ctx = current_context()
+        pool.apply(worker, (ctx.to_dict(), job))
+
+Worker process::
+
+    def worker(ctx_dict, job):
+        with use_context(TraceContext.from_dict(ctx_dict)):
+            with trace("worker.shard"):       # root here, child of parent
+                ...
+        return span_records()                 # serializable span buffer
+
+Parent, afterwards::
+
+    records = span_records() + worker_records_0 + worker_records_1
+    write_chrome_trace("trace.json", records)   # one merged timeline
+
+Merged records use **wall-clock** starts (``time.time``) so events from
+different processes line up on one timeline; within-process ordering still
+comes from the monotonic span clock.  Parent/child linkage survives the
+merge because every span carries globally-unique ``span_id`` /
+``parent_id`` (pid-qualified) and the shared ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import tracing
+from .tracing import Span, Tracer, get_tracer
+
+__all__ = [
+    "TraceContext",
+    "current_context",
+    "use_context",
+    "propagated",
+    "span_records",
+    "merge_span_records",
+    "chrome_trace_from_records",
+    "write_chrome_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A serializable pointer to one span of one trace."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, str]) -> "TraceContext":
+        return cls(trace_id=payload["trace_id"], span_id=payload["span_id"])
+
+    def to_header(self) -> str:
+        """Compact ``trace_id-span_id`` wire form (DESIGN.md §9)."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    @classmethod
+    def from_header(cls, header: str) -> "TraceContext":
+        trace_id, _, span_id = header.partition("-")
+        if not trace_id or not span_id:
+            raise ValueError(f"malformed trace header: {header!r}")
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+def current_context(tracer: Tracer | None = None) -> TraceContext | None:
+    """Context of the innermost active span (or the ambient remote parent).
+
+    Returns ``None`` when no span is open and no remote context is
+    installed — callers forward that as "start a fresh trace".
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    span = tracer.current()
+    if span is not None and span.trace_id is not None:
+        return TraceContext(trace_id=span.trace_id, span_id=span.span_id)
+    ambient = getattr(tracing._AMBIENT, "ctx", None)
+    if ambient is not None:
+        return TraceContext(trace_id=ambient[0], span_id=ambient[1])
+    return None
+
+
+@contextmanager
+def use_context(context: TraceContext | None):
+    """Adopt ``context`` as the parent for root spans on this thread.
+
+    ``None`` is accepted and is a no-op, so workers can propagate whatever
+    :func:`current_context` returned without branching.
+    """
+    if context is None:
+        yield
+        return
+    previous = getattr(tracing._AMBIENT, "ctx", None)
+    tracing._AMBIENT.ctx = (context.trace_id, context.span_id)
+    try:
+        yield
+    finally:
+        tracing._AMBIENT.ctx = previous
+
+
+def propagated(fn, tracer: Tracer | None = None):
+    """Bind the *current* context into ``fn`` for execution on another thread.
+
+    ``threading.Thread(target=propagated(work))`` makes spans opened inside
+    ``work`` children of the span active at call time — the capture happens
+    here, not when the thread runs.
+    """
+    context = current_context(tracer)
+
+    def wrapper(*args, **kwargs):
+        with use_context(context):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def _record_of(span: Span, path: str) -> dict:
+    return {
+        "name": span.name,
+        "path": path,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "wall_start": span.wall_start,
+        "duration_s": span.duration_s,
+        "pid": int(span.span_id.split("-", 1)[0], 16),
+        "tid": span.thread_id,
+        "error": span.error,
+    }
+
+
+def span_records(tracer: Tracer | None = None) -> list[dict]:
+    """Every finished span as a plain serializable dict (pickle/JSON-safe).
+
+    This is the buffer a ``multiprocessing`` worker ships back to its
+    parent; the pid embedded in each span id is recovered into a ``pid``
+    field so merged Chrome traces get one track per process.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    return [_record_of(span, path) for span, _, path in tracer.walk()]
+
+
+def merge_span_records(*buffers: "list[dict] | None") -> list[dict]:
+    """Concatenate span buffers from several processes, oldest-start first.
+
+    ``None`` buffers (a worker that died before reporting) are skipped so
+    partial traces still merge.
+    """
+    merged: list[dict] = []
+    for buffer in buffers:
+        if buffer:
+            merged.extend(buffer)
+    merged.sort(key=lambda r: r.get("wall_start", 0.0))
+    return merged
+
+
+def chrome_trace_from_records(records: list[dict]) -> list[dict]:
+    """Chrome ``trace_event`` complete events from merged span records.
+
+    Timestamps are wall-clock microseconds relative to the earliest span,
+    so records from different processes share one timeline; ``pid``/``tid``
+    give per-process, per-thread tracks, and parent/child linkage rides in
+    ``args`` (``trace_id`` / ``span_id`` / ``parent_id``).
+    """
+    if not records:
+        return []
+    offset = min(r["wall_start"] for r in records)
+    events = []
+    for record in records:
+        args = {
+            "trace_id": record.get("trace_id"),
+            "span_id": record.get("span_id"),
+            "parent_id": record.get("parent_id"),
+        }
+        if record.get("error"):
+            args["error"] = record["error"]
+        events.append(
+            {
+                "name": record["name"],
+                "ph": "X",
+                "ts": (record["wall_start"] - offset) * 1e6,
+                "dur": record["duration_s"] * 1e6,
+                "pid": record.get("pid", 0),
+                "tid": record.get("tid", 0),
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str | Path, records: list[dict]) -> Path:
+    """Write merged records as a ``chrome://tracing`` / Perfetto JSON file."""
+    from ..utils.atomicio import atomic_write_bytes
+
+    payload = json.dumps(chrome_trace_from_records(records), indent=1)
+    return atomic_write_bytes(Path(path), payload.encode("utf-8"), fsync=False)

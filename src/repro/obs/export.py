@@ -1,0 +1,241 @@
+"""Metric exporters: OpenMetrics/Prometheus text and periodic JSON snapshots.
+
+Two export surfaces over one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+- :func:`render_openmetrics` — the Prometheus/OpenMetrics text exposition
+  format, one family per metric name.  Counters become ``<name>_total``,
+  gauges stay gauges, histograms and windowed histograms render as
+  summaries (``{quantile="0.5"}`` series plus ``_sum``/``_count``), and
+  EWMA meters expose per-tau rate gauges.  A serving endpoint returns this
+  string verbatim as ``GET /metrics``.
+- :func:`write_snapshot` / :class:`SnapshotExporter` — the full registry
+  snapshot (every field of every series, exactly what
+  :meth:`~repro.obs.metrics.MetricsRegistry.collect` reports) as a JSON
+  file written through :mod:`repro.utils.atomicio`, so a scraper or a
+  post-mortem always reads a complete snapshot, never a torn write.
+  :class:`SnapshotExporter` rewrites it from a daemon thread every
+  ``interval_s`` seconds.
+
+Metric names are sanitized for Prometheus (dots become underscores); a
+windowed histogram sharing a cumulative histogram's name exports as
+``<name>_window`` with a ``window`` label so the two families stay
+distinct.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from pathlib import Path
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "render_openmetrics",
+    "write_openmetrics",
+    "write_snapshot",
+    "SnapshotExporter",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_RE.sub("_", key)}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    # OpenMetrics wants plain decimal; repr keeps floats round-trippable.
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _family_lines(name: str, kind: str, snaps: list[dict]) -> list[str]:
+    lines: list[str] = []
+    if kind == "counter":
+        lines.append(f"# TYPE {name} counter")
+        for snap in snaps:
+            labels = _labels_text(snap["labels"])
+            lines.append(f"{name}_total{labels} {_format_value(snap['value'])}")
+    elif kind == "gauge":
+        lines.append(f"# TYPE {name} gauge")
+        for snap in snaps:
+            labels = _labels_text(snap["labels"])
+            lines.append(f"{name}{labels} {_format_value(snap['value'])}")
+    elif kind in ("histogram", "windowed_histogram"):
+        lines.append(f"# TYPE {name} summary")
+        for snap in snaps:
+            extra = {}
+            if kind == "windowed_histogram":
+                extra["window"] = f"{snap['window_s']:g}s"
+            for quantile, field in _QUANTILES:
+                labels = _labels_text(
+                    snap["labels"], {**extra, "quantile": quantile}
+                )
+                lines.append(f"{name}{labels} {_format_value(snap[field])}")
+            labels = _labels_text(snap["labels"], extra)
+            lines.append(f"{name}_sum{labels} {_format_value(snap['sum'])}")
+            lines.append(f"{name}_count{labels} {_format_value(snap['count'])}")
+    elif kind == "windowed_counter":
+        lines.append(f"# TYPE {name} gauge")
+        for snap in snaps:
+            labels = _labels_text(
+                snap["labels"], {"window": f"{snap['window_s']:g}s"}
+            )
+            lines.append(f"{name}{labels} {_format_value(snap['total'])}")
+    elif kind == "meter":
+        lines.append(f"# TYPE {name} gauge")
+        for snap in snaps:
+            for field in sorted(snap):
+                if not field.endswith("_per_s"):
+                    continue
+                tau = field[: -len("_per_s")]
+                labels = _labels_text(snap["labels"], {"rate": tau})
+                lines.append(f"{name}{labels} {_format_value(snap[field])}")
+    else:  # unknown kind: expose numeric fields as suffixed gauges
+        lines.append(f"# TYPE {name} gauge")
+        for snap in snaps:
+            labels = _labels_text(snap["labels"])
+            for field, value in sorted(snap.items()):
+                if field in ("kind", "name", "labels") or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                lines.append(f"{name}_{field}{labels} {_format_value(value)}")
+    return lines
+
+
+def render_openmetrics(registry: MetricsRegistry | None = None) -> str:
+    """The whole registry in OpenMetrics text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    families: dict[tuple[str, str], list[dict]] = {}
+    for snap in registry.collect():
+        kind = snap["kind"]
+        name = _metric_name(snap["name"])
+        if kind == "windowed_histogram":
+            # A windowed histogram may share its cumulative twin's name;
+            # suffix the family so the exposition stays unambiguous.
+            name += "_window"
+        families.setdefault((name, kind), []).append(snap)
+    lines: list[str] = []
+    for (name, kind), snaps in sorted(families.items()):
+        lines.extend(_family_lines(name, kind, snaps))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: str | Path, registry: MetricsRegistry | None = None
+) -> Path:
+    """Atomically write :func:`render_openmetrics` output to ``path``."""
+    from ..utils.atomicio import atomic_write_bytes
+
+    text = render_openmetrics(registry)
+    return atomic_write_bytes(Path(path), text.encode("utf-8"), fsync=False)
+
+
+def write_snapshot(
+    path: str | Path,
+    registry: MetricsRegistry | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Atomically write the full registry snapshot as one JSON document.
+
+    The payload is ``{"ts": ..., "metrics": [...]}`` (plus ``extra``
+    fields), where ``metrics`` is exactly
+    :meth:`~repro.obs.metrics.MetricsRegistry.collect`.
+    """
+    from ..utils.atomicio import atomic_write_bytes
+
+    registry = registry if registry is not None else get_registry()
+    payload = {"ts": time.time(), "metrics": registry.collect()}
+    if extra:
+        payload.update(extra)
+    encoded = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+    return atomic_write_bytes(Path(path), encoded, fsync=False)
+
+
+class SnapshotExporter:
+    """Periodic JSON snapshot writer (daemon thread, atomic writes).
+
+    ::
+
+        with SnapshotExporter("metrics.json", interval_s=10.0):
+            serve_forever()
+
+    Each rewrite replaces the file atomically; ``stop()`` (or context
+    exit) writes one final snapshot so the file always reflects the end
+    state of the run.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        interval_s: float = 10.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.path = Path(path)
+        self.interval_s = float(interval_s)
+        self.registry = registry
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.writes = 0
+
+    def _write(self) -> None:
+        write_snapshot(self.path, self.registry)
+        self.writes += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._write()
+
+    def start(self) -> "SnapshotExporter":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-obs-snapshots", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._write()  # final snapshot: the file ends current
+
+    def __enter__(self) -> "SnapshotExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -14,14 +14,25 @@ Three metric kinds are supported:
 - :class:`Histogram` — sample distribution with mean and p50/p95/p99
   quantiles (latencies, per-batch times).
 
+Windowed kinds (:class:`~repro.obs.windows.WindowedHistogram`,
+:class:`~repro.obs.windows.EwmaMeter`, ...) register through the same
+registry via :meth:`MetricsRegistry.windowed_histogram` /
+:meth:`MetricsRegistry.meter`; see :mod:`repro.obs.windows`.
+
 Labeled series: ``registry.histogram("rerank.latency_ms", reranker="mmr")``
-creates one independent series per distinct label set.  To catch accidental
-cardinality explosions (e.g. labeling by request id), a registry refuses to
-create more than ``max_series_per_metric`` series for one metric name.
+creates one independent series per distinct label set.  To survive
+accidental cardinality explosions (e.g. labeling by user or request id
+under million-user traffic), a registry caps each metric name at
+``max_series_per_metric`` distinct label sets: once the cap is hit, new
+label sets are routed to one shared per-name **overflow series**
+(labeled ``overflow="true"``), the ``obs.dropped_series`` counter tracks
+how many updates were routed there, and the first overflow per name is
+logged once — memory stays bounded and writers never crash.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 from bisect import insort
 
@@ -35,6 +46,13 @@ __all__ = [
 ]
 
 Labels = tuple[tuple[str, str], ...]
+
+# The label set identifying a metric's shared cardinality-overflow series.
+_OVERFLOW_LABELS: Labels = (("overflow", "true"),)
+
+# Name collisions tolerated across kinds: a cumulative histogram and its
+# sliding-window twin intentionally share a name (exporters disambiguate).
+_COMPATIBLE_KINDS = {frozenset(("histogram", "windowed_histogram"))}
 
 
 def _normalize_labels(labels: dict[str, object]) -> Labels:
@@ -214,31 +232,70 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._series: dict[tuple[str, str, Labels], _Metric] = {}
         self._per_name: dict[str, int] = {}
+        self._overflow_logged: set[str] = set()
         self.max_series_per_metric = max_series_per_metric
 
     def _get_or_create(self, cls: type, name: str, labels: dict[str, object]):
         key = (cls.kind, name, _normalize_labels(labels))
+        overflowed = False
         with self._lock:
             metric = self._series.get(key)
             if metric is not None:
                 return metric
             for kind, existing_name, _ in self._series:
-                if existing_name == name and kind != cls.kind:
+                if (
+                    existing_name == name
+                    and kind != cls.kind
+                    and frozenset((kind, cls.kind)) not in _COMPATIBLE_KINDS
+                ):
                     raise ValueError(
                         f"metric {name!r} already registered as a {kind}, "
                         f"cannot re-register as a {cls.kind}"
                     )
             count = self._per_name.get(name, 0)
             if count >= self.max_series_per_metric:
-                raise ValueError(
-                    f"metric {name!r} exceeded max_series_per_metric="
-                    f"{self.max_series_per_metric}; a label is probably "
-                    "unbounded (request ids, timestamps, ...)"
+                # Cardinality cap: route this (and every further) unseen
+                # label set to one shared overflow series so memory stays
+                # bounded under per-user labels; the write still lands.
+                overflowed = True
+                key = (cls.kind, name, _OVERFLOW_LABELS)
+                metric = self._series.get(key)
+                if metric is None:
+                    metric = self._series[key] = cls(name, _OVERFLOW_LABELS)
+            else:
+                metric = cls(name, key[2])
+                self._series[key] = metric
+                self._per_name[name] = count + 1
+        if overflowed:
+            self._record_overflow(name)
+        return metric
+
+    def _record_overflow(self, name: str) -> None:
+        """Count an update routed to the overflow series; log the first."""
+        if name != "obs.dropped_series":
+            self.counter("obs.dropped_series", metric=name).inc()
+        first = False
+        with self._lock:
+            if name not in self._overflow_logged:
+                self._overflow_logged.add(name)
+                first = True
+        if first:
+            message = (
+                f"metric {name!r} exceeded max_series_per_metric="
+                f"{self.max_series_per_metric}; further label sets share one "
+                "overflow series (a label is probably unbounded — user or "
+                "request ids)"
+            )
+            logging.getLogger(__name__).warning(message)
+            from .runlog import get_run_logger
+
+            logger = get_run_logger()
+            if logger.active:
+                logger.log(
+                    "obs.series_overflow",
+                    metric=name,
+                    max_series=self.max_series_per_metric,
                 )
-            metric = cls(name, key[2])
-            self._series[key] = metric
-            self._per_name[name] = count + 1
-            return metric
 
     def counter(self, name: str, **labels) -> Counter:
         return self._get_or_create(Counter, name, labels)
@@ -248,6 +305,24 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get_or_create(Histogram, name, labels)
+
+    def windowed_histogram(self, name: str, **labels):
+        """Sliding-window histogram series (see :mod:`repro.obs.windows`)."""
+        from .windows import WindowedHistogram
+
+        return self._get_or_create(WindowedHistogram, name, labels)
+
+    def windowed_counter(self, name: str, **labels):
+        """Sliding-window event counter series."""
+        from .windows import WindowedCounter
+
+        return self._get_or_create(WindowedCounter, name, labels)
+
+    def meter(self, name: str, **labels):
+        """EWMA rate meter series (events/second at 1m/5m/15m)."""
+        from .windows import EwmaMeter
+
+        return self._get_or_create(EwmaMeter, name, labels)
 
     def collect(self) -> list[dict]:
         """Point-in-time snapshot of every series, sorted by (name, labels)."""
@@ -263,6 +338,7 @@ class MetricsRegistry:
         with self._lock:
             self._series.clear()
             self._per_name.clear()
+            self._overflow_logged.clear()
 
     def __len__(self) -> int:
         return len(self._series)

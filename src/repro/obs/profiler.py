@@ -1,0 +1,221 @@
+"""Opt-in background stack-sampling profiler with collapsed-stack export.
+
+The autograd op profiler (:mod:`repro.obs.autograd`) answers "which tensor
+op is slow"; this profiler answers "where does *wall time* go across the
+whole process" — numpy internals, data prep, serialization, lock waits —
+by sampling every thread's Python stack at a fixed rate from a daemon
+thread (``sys._current_frames``).  Nothing is patched and no per-call
+hooks exist: the cost while **stopped is zero**, and while running it is
+one stack walk per thread per tick (~``hz`` Hz).
+
+Samples aggregate into collapsed-stack lines — ``outer;inner;leaf 42`` —
+the input format of every flamegraph renderer (inferno, speedscope,
+flamegraph.pl), also rendered as a text summary by
+``python -m repro.obs.report``.
+
+Usage::
+
+    with sampling_profile(hz=97) as profiler:
+        run_workload()
+    print(profiler.format_top())
+    profiler.write_collapsed("profile.folded")
+
+or imperatively via :func:`start_sampling` / :func:`stop_sampling` (the
+module-global profiler is what :func:`repro.obs.flush_observability`
+drains into ``profiler.stack`` run-log events).
+
+The default rate (97 Hz) is prime, so periodic workloads are unlikely to
+alias with the sampler.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "SamplingProfiler",
+    "sampling_profile",
+    "start_sampling",
+    "stop_sampling",
+    "get_profiler",
+]
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", Path(code.co_filename).stem)
+    # co_qualname needs 3.11; the repo floor is 3.10, so fall back to co_name.
+    return f"{module}.{getattr(code, 'co_qualname', code.co_name)}"
+
+
+class SamplingProfiler:
+    """Samples all Python threads' stacks into collapsed-stack counts."""
+
+    def __init__(
+        self, hz: float = 97.0, max_depth: int = 128, clock=time.perf_counter
+    ) -> None:
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.hz = float(hz)
+        self.max_depth = max_depth
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stacks: dict[tuple[str, ...], int] = {}
+        self._samples = 0
+        self._ticks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self.elapsed_s = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = self._clock()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_at is not None:
+            self.elapsed_s += self._clock() - self._started_at
+            self._started_at = None
+        return self
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_id = threading.get_ident()
+        while not self._stop.wait(interval):
+            self.sample_once(skip_thread=own_id)
+
+    def sample_once(self, skip_thread: int | None = None) -> None:
+        """Take one sample of every live thread (the sampler's inner step).
+
+        Public so tests (and pause-aware harnesses) can drive sampling
+        deterministically without a background thread.
+        """
+        frames = sys._current_frames()
+        with self._lock:
+            self._ticks += 1
+            for thread_id, frame in frames.items():
+                if thread_id == skip_thread:
+                    continue
+                stack: list[str] = []
+                depth = 0
+                while frame is not None and depth < self.max_depth:
+                    stack.append(_frame_label(frame))
+                    frame = frame.f_back
+                    depth += 1
+                if not stack:
+                    continue
+                stack.reverse()  # root first — collapsed-stack order
+                key = tuple(stack)
+                self._stacks[key] = self._stacks.get(key, 0) + 1
+                self._samples += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stacks.clear()
+            self._samples = 0
+            self._ticks = 0
+        self.elapsed_s = 0.0
+
+    # -- exports -------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    def stack_counts(self) -> list[tuple[tuple[str, ...], int]]:
+        """(stack, count) pairs, most-sampled first."""
+        with self._lock:
+            items = list(self._stacks.items())
+        items.sort(key=lambda kv: kv[1], reverse=True)
+        return items
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: one ``frame;frame;leaf count`` line each."""
+        return "\n".join(
+            f"{';'.join(stack)} {count}" for stack, count in self.stack_counts()
+        )
+
+    def write_collapsed(self, path: str | Path) -> Path:
+        """Write :meth:`collapsed` output (flamegraph renderer input)."""
+        from ..utils.atomicio import atomic_write_bytes
+
+        text = self.collapsed()
+        return atomic_write_bytes(
+            Path(path), (text + "\n").encode("utf-8"), fsync=False
+        )
+
+    def top_functions(self, n: int = 10) -> list[tuple[str, int]]:
+        """Leaf-frame (self-time) sample counts, descending."""
+        leaves: dict[str, int] = {}
+        for stack, count in self.stack_counts():
+            leaves[stack[-1]] = leaves.get(stack[-1], 0) + count
+        return sorted(leaves.items(), key=lambda kv: kv[1], reverse=True)[:n]
+
+    def format_top(self, n: int = 10) -> str:
+        """Human-readable summary: total samples + hottest leaf frames."""
+        lines = [
+            f"{self._samples} samples over {self.elapsed_s:.2f}s "
+            f"(~{self.hz:.0f} Hz target)"
+        ]
+        total = max(self._samples, 1)
+        for label, count in self.top_functions(n):
+            lines.append(f"  {100.0 * count / total:5.1f}%  {label}")
+        return "\n".join(lines)
+
+
+_GLOBAL_PROFILER: SamplingProfiler | None = None
+
+
+def get_profiler() -> SamplingProfiler | None:
+    """The module-global profiler, if one was ever started (else ``None``)."""
+    return _GLOBAL_PROFILER
+
+
+def start_sampling(hz: float = 97.0) -> SamplingProfiler:
+    """Start (or resume) the module-global sampling profiler."""
+    global _GLOBAL_PROFILER
+    if _GLOBAL_PROFILER is None or _GLOBAL_PROFILER.hz != hz:
+        if _GLOBAL_PROFILER is not None:
+            _GLOBAL_PROFILER.stop()
+        _GLOBAL_PROFILER = SamplingProfiler(hz=hz)
+    return _GLOBAL_PROFILER.start()
+
+
+def stop_sampling() -> SamplingProfiler | None:
+    """Stop the module-global profiler; returns it for reading, if any."""
+    if _GLOBAL_PROFILER is not None:
+        _GLOBAL_PROFILER.stop()
+    return _GLOBAL_PROFILER
+
+
+@contextmanager
+def sampling_profile(hz: float = 97.0, reset: bool = True):
+    """Profile a block with the module-global sampler; yields the profiler."""
+    profiler = start_sampling(hz=hz)
+    if reset:
+        profiler.reset()
+    try:
+        yield profiler
+    finally:
+        profiler.stop()

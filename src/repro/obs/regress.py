@@ -1,0 +1,318 @@
+"""Benchmark-regression sentinel over ``benchmarks/results/trajectory.jsonl``.
+
+The benchmark trajectory accumulates a short history per benchmark tag
+(see ``benchmarks/bench_utils.append_trajectory``); until now nothing read
+it back, so a perf regression would ship silently.  This module compares
+the **newest** entry of each tag against the **previous** entry and exits
+nonzero when a tracked quantity regressed beyond a noise band::
+
+    python -m repro.obs.regress                    # auto-locate trajectory
+    python -m repro.obs.regress path/to/t.jsonl --band 0.10 --tag obs_v2
+
+What is compared (recursively, including per-op rows inside ``ops``
+lists, which flatten to ``ops.<op>.<field>``):
+
+- **lower-is-better**: fields whose name contains ``ms`` as a component
+  (``median_ms``, ``train_ms_per_batch``, ``rerank_latency_ms`` ...);
+- **higher-is-better**: fields containing ``speedup``, ``per_sec``,
+  ``throughput``, or ``qps``;
+- everything else (overhead *fractions*, counts, notes) is ignored — the
+  fractions are hard-gated by the benchmarks themselves and are pure
+  noise near zero, where a relative band is meaningless.
+
+The noise band is sized for the repo's measurement protocol: benches
+record **interleaved min-of-k** latencies (see ``bench_utils``), whose
+noise is one-sided — a min can only be too *slow*, never too fast — so a
+moderate relative band (default 10%) plus a small absolute floor
+(``--floor``, default 0.05 ms) suffices without a paired t-test.  Records
+measured on different machines need a wider band (``--band 0.5``).
+
+``benchmarks/bench_utils.publish_benchmark`` runs this check after every
+publish and prints the verdict (strict mode via ``REPRO_BENCH_REGRESS=
+strict``), and a tier-1 smoke test keeps the checked-in trajectory clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Regression",
+    "RegressionReport",
+    "flatten_metrics",
+    "compare_records",
+    "check_trajectory",
+    "find_trajectory",
+    "main",
+]
+
+LOWER_IS_BETTER_TOKENS = ("ms",)
+HIGHER_IS_BETTER_TOKENS = ("speedup", "per_sec", "throughput", "qps")
+DEFAULT_BAND = 0.10
+DEFAULT_FLOOR_MS = 0.05
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved the wrong way beyond the noise band."""
+
+    tag: str
+    metric: str
+    prior: float
+    current: float
+    direction: str  # "lower_is_better" | "higher_is_better"
+
+    @property
+    def change_fraction(self) -> float:
+        if self.prior == 0:
+            return float("inf")
+        return self.current / self.prior - 1.0
+
+    def describe(self) -> str:
+        arrow = "↑" if self.direction == "lower_is_better" else "↓"
+        return (
+            f"{self.tag}: {self.metric} {arrow} "
+            f"{self.prior:.4g} -> {self.current:.4g} "
+            f"({100.0 * self.change_fraction:+.1f}%)"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Everything one sentinel run found."""
+
+    regressions: list[Regression]
+    improvements: list[Regression]
+    compared_tags: list[str]
+    skipped_tags: list[str]  # fewer than two entries — nothing to compare
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = []
+        if self.compared_tags:
+            lines.append(
+                f"compared {len(self.compared_tags)} tag(s): "
+                f"{', '.join(self.compared_tags)}"
+            )
+        if self.skipped_tags:
+            lines.append(
+                f"skipped (single entry): {', '.join(self.skipped_tags)}"
+            )
+        for row in self.regressions:
+            lines.append(f"REGRESSION  {row.describe()}")
+        for row in self.improvements:
+            lines.append(f"improved    {row.describe()}")
+        lines.append(
+            "verdict: "
+            + ("OK — no regressions" if self.ok else
+               f"{len(self.regressions)} regression(s)")
+        )
+        return "\n".join(lines)
+
+
+def _direction(key: str) -> str | None:
+    """Classify a flattened metric key, or None when untracked."""
+    # Match tokens against whole "_"-separated components (so "ms" hits
+    # "median_ms" but not "milliseconds"); padding with "_" lets compound
+    # tokens like "per_sec" span component boundaries.
+    padded = "_" + key.lower().replace(".", "_") + "_"
+    if any(f"_{token}_" in padded for token in HIGHER_IS_BETTER_TOKENS):
+        return "higher_is_better"
+    # "fraction" fields mention ms-adjacent names but are gated elsewhere.
+    if "_fraction_" in padded:
+        return None
+    if any(f"_{token}_" in padded for token in LOWER_IS_BETTER_TOKENS):
+        return "lower_is_better"
+    return None
+
+
+def flatten_metrics(record: dict, prefix: str = "") -> dict[str, float]:
+    """Tracked numeric fields of a trajectory record, flattened.
+
+    Lists of dicts carrying an ``op`` (or ``name``) field — the shape the
+    kernel bench uses — flatten to ``<list>.<op>.<field>``; other
+    structure is ignored.
+    """
+    flat: dict[str, float] = {}
+    for key, value in record.items():
+        if key == "tag":
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            if _direction(key) is not None:
+                flat[path] = float(value)
+        elif isinstance(value, dict):
+            flat.update(flatten_metrics(value, prefix=f"{path}."))
+        elif isinstance(value, list):
+            for row in value:
+                if isinstance(row, dict):
+                    label = row.get("op") or row.get("name")
+                    if label is None:
+                        continue
+                    flat.update(
+                        flatten_metrics(
+                            {k: v for k, v in row.items() if k not in ("op", "name")},
+                            prefix=f"{path}.{label}.",
+                        )
+                    )
+    return flat
+
+
+def compare_records(
+    prior: dict,
+    current: dict,
+    band: float = DEFAULT_BAND,
+    floor: float = DEFAULT_FLOOR_MS,
+) -> tuple[list[Regression], list[Regression]]:
+    """(regressions, improvements) between two records of one tag.
+
+    A lower-is-better metric regresses when
+    ``current > prior * (1 + band) + floor``; higher-is-better when
+    ``current < prior * (1 - band)``.  Metrics present in only one record
+    are skipped — a bench gaining or dropping a field is not a regression.
+    """
+    tag = str(current.get("tag", prior.get("tag", "?")))
+    prior_flat = flatten_metrics(prior)
+    current_flat = flatten_metrics(current)
+    regressions: list[Regression] = []
+    improvements: list[Regression] = []
+    for key in sorted(set(prior_flat) & set(current_flat)):
+        direction = _direction(key.rsplit(".", 1)[-1])
+        if direction is None:
+            continue
+        before, after = prior_flat[key], current_flat[key]
+        row = Regression(
+            tag=tag, metric=key, prior=before, current=after, direction=direction
+        )
+        if direction == "lower_is_better":
+            if after > before * (1.0 + band) + floor:
+                regressions.append(row)
+            elif after < before * (1.0 - band) - floor:
+                improvements.append(row)
+        else:
+            if after < before * (1.0 - band):
+                regressions.append(row)
+            elif after > before * (1.0 + band):
+                improvements.append(row)
+    return regressions, improvements
+
+
+def _read_trajectory(path: Path) -> list[dict]:
+    records = []
+    for line in path.read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+def check_trajectory(
+    path: str | Path,
+    band: float = DEFAULT_BAND,
+    floor: float = DEFAULT_FLOOR_MS,
+    tags: "list[str] | None" = None,
+) -> RegressionReport:
+    """Run the sentinel over every tag (or just ``tags``) in a trajectory."""
+    records = _read_trajectory(Path(path))
+    by_tag: dict[str, list[dict]] = {}
+    for record in records:  # file order is chronological per tag
+        by_tag.setdefault(str(record.get("tag", "?")), []).append(record)
+    regressions: list[Regression] = []
+    improvements: list[Regression] = []
+    compared: list[str] = []
+    skipped: list[str] = []
+    for tag, entries in sorted(by_tag.items()):
+        if tags is not None and tag not in tags:
+            continue
+        if len(entries) < 2:
+            skipped.append(tag)
+            continue
+        compared.append(tag)
+        worse, better = compare_records(
+            entries[-2], entries[-1], band=band, floor=floor
+        )
+        regressions.extend(worse)
+        improvements.extend(better)
+    return RegressionReport(
+        regressions=regressions,
+        improvements=improvements,
+        compared_tags=compared,
+        skipped_tags=skipped,
+    )
+
+
+def find_trajectory(start: str | Path = ".") -> Path | None:
+    """Locate ``benchmarks/results/trajectory.jsonl`` at or above ``start``."""
+    current = Path(start).resolve()
+    for directory in (current, *current.parents):
+        candidate = directory / "benchmarks" / "results" / "trajectory.jsonl"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Compare the newest benchmark trajectory entries against "
+        "their predecessors; exit 1 on regression.",
+    )
+    parser.add_argument(
+        "trajectory",
+        nargs="?",
+        default=None,
+        help="path to trajectory.jsonl (default: auto-locate upward from cwd)",
+    )
+    parser.add_argument(
+        "--band",
+        type=float,
+        default=DEFAULT_BAND,
+        help=f"relative noise band (default {DEFAULT_BAND:.0%})",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR_MS,
+        help="absolute floor for lower-is-better metrics, in the metric's "
+        f"own unit (default {DEFAULT_FLOOR_MS})",
+    )
+    parser.add_argument(
+        "--tag", action="append", default=None, help="only check these tag(s)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="explicit alias of the default behavior (for workflow wiring)",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.trajectory) if args.trajectory else find_trajectory()
+    if path is None or not path.exists():
+        print(
+            "error: no trajectory.jsonl found "
+            "(pass a path or run from inside the repo)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = check_trajectory(
+            path, band=args.band, floor=args.floor, tags=args.tag
+        )
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSONL: {exc}", file=sys.stderr)
+        return 2
+    print(f"trajectory: {path}")
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

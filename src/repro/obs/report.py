@@ -10,7 +10,10 @@ Sections (each skipped when the log has no matching events):
 - loss curve — one row per ``train.epoch`` event;
 - evaluation results — one row per ``eval.result`` event;
 - slowest spans — ``span`` summary events sorted by total time;
-- top autograd ops — ``autograd.op`` events sorted by total time.
+- top autograd ops — ``autograd.op`` events sorted by total time;
+- SLO status — last ``obs.slo.*`` gauges plus any ``slo.alert`` events;
+- windowed percentiles — recent p50/p95/p99 per windowed histogram;
+- profiler hot stacks — ``profiler.stack`` events by sample share.
 
 Programmatic entry points: :func:`render_report` on already-loaded records,
 :func:`report_path` for a file.
@@ -127,7 +130,131 @@ def render_report(records: list[dict], top: int = 10) -> str:
             body = f"{body}\n{fused_line}"
         sections.append(_section(f"Top autograd ops (top {top})", body))
 
+    slo_body = _slo_section(records)
+    if slo_body:
+        sections.append(_section("SLO status", slo_body))
+
+    windowed = [
+        r
+        for r in records
+        if r.get("event") == "metric" and r.get("kind") == "windowed_histogram"
+    ]
+    if windowed:
+        rows = [
+            {
+                "metric": _series_label(r),
+                "window": f"{r.get('window_s', 0):g}s",
+                "count": r.get("count", 0),
+                "p50": r.get("p50", 0.0),
+                "p95": r.get("p95", 0.0),
+                "p99": r.get("p99", 0.0),
+            }
+            for r in windowed
+        ]
+        sections.append(
+            _section(
+                "Windowed percentiles (recent, not lifetime)",
+                _format_table(
+                    rows,
+                    ["metric", "window", "count", "p50", "p95", "p99"],
+                    precision=3,
+                ),
+            )
+        )
+
+    stacks = [r for r in records if r.get("event") == "profiler.stack"]
+    if stacks:
+        sections.append(
+            _section(
+                f"Profiler hot stacks (top {top})", _stacks_body(stacks, top)
+            )
+        )
+
     return "\n\n".join(sections)
+
+
+_SLO_STATE_NAMES = {0: "ok", 1: "warn", 2: "page"}
+
+
+def _series_label(record: dict) -> str:
+    labels = record.get("labels") or {}
+    if isinstance(labels, (list, tuple)):
+        labels = dict(labels)
+    if not labels:
+        return str(record.get("name", "?"))
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{record.get('name', '?')}{{{inner}}}"
+
+
+def _slo_section(records: list[dict]) -> str | None:
+    """SLO state table (from flushed gauges) plus the alert history."""
+    states: dict[str, dict] = {}
+    burns: dict[str, list[tuple[str, float]]] = {}
+    for r in records:
+        if r.get("event") != "metric":
+            continue
+        labels = r.get("labels") or {}
+        if isinstance(labels, (list, tuple)):
+            labels = dict(labels)
+        slo = labels.get("slo")
+        if slo is None:
+            continue
+        if r.get("name") == "obs.slo.state":
+            states[slo] = r
+        elif r.get("name") == "obs.slo.burn_rate":
+            burns.setdefault(slo, []).append(
+                (labels.get("window", "?"), r.get("value", 0.0))
+            )
+    alerts = [r for r in records if r.get("event") in ("slo.alert", "slo.resolve")]
+    if not states and not alerts:
+        return None
+    lines = []
+    if states:
+        rows = []
+        for slo, record in sorted(states.items()):
+            worst = max(burns.get(slo, [("", 0.0)]), key=lambda kv: kv[1])
+            rows.append(
+                {
+                    "slo": slo,
+                    "state": _SLO_STATE_NAMES.get(
+                        int(record.get("value", 0)), "?"
+                    ),
+                    "max_burn_rate": worst[1],
+                    "window": worst[0],
+                }
+            )
+        lines.append(
+            _format_table(
+                rows, ["slo", "state", "max_burn_rate", "window"], precision=2
+            )
+        )
+    for r in alerts:
+        if r.get("event") == "slo.alert":
+            lines.append(
+                f"ALERT  {r.get('slo', '?')} [{r.get('severity', '?')}] "
+                f"burn {r.get('burn_rate_long', 0.0):.1f}x over "
+                f"{r.get('long_window_s', 0):g}s "
+                f"(short {r.get('burn_rate_short', 0.0):.1f}x)"
+            )
+        else:
+            lines.append(f"resolve  {r.get('slo', '?')} back to ok")
+    return "\n".join(lines)
+
+
+def _stacks_body(stacks: list[dict], top: int) -> str:
+    stacks = sorted(stacks, key=lambda r: r.get("samples", 0), reverse=True)
+    total = max((r.get("total_samples", 0) for r in stacks), default=0) or 1
+    lines = []
+    for r in stacks[:top]:
+        share = 100.0 * r.get("samples", 0) / total
+        stack = r.get("stack", "")
+        # Deep stacks are noise in a text report: keep the last 4 frames.
+        frames = stack.split(";")
+        shown = ";".join(frames[-4:]) if len(frames) > 4 else stack
+        if len(frames) > 4:
+            shown = "...;" + shown
+        lines.append(f"{share:5.1f}%  {shown}")
+    return "\n".join(lines)
 
 
 _FUSED_OPS = (

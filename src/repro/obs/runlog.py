@@ -21,6 +21,13 @@ crash, not just a process crash), pass ``fsync=True`` to push every
 record through to stable storage; this trades one ``fsync(2)`` per event
 for the guarantee.  The kill-mid-run contract is proven by
 ``tests/test_runlog_crash_safety.py``.
+
+Long-lived serving processes cap disk use with ``max_bytes``: when an
+append would grow the file past the cap, the sink rotates
+``log.jsonl -> log.jsonl.1 -> log.jsonl.2 ...`` (same keep-last-``k``
+scheme as checkpoint rotation) and starts a fresh file.  Records are
+never split across files; :func:`read_jsonl_rotated` replays the whole
+set oldest-first.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ __all__ = [
     "get_run_logger",
     "set_run_logger",
     "read_jsonl",
+    "read_jsonl_rotated",
 ]
 
 
@@ -80,22 +88,72 @@ class JsonlSink:
     Every record is flushed immediately (crash-safe against process
     death); with ``fsync=True`` it is also fsync-ed to stable storage
     (crash-safe against OS/power failure, at ~one syscall per event).
+
+    With ``max_bytes`` set, an append that would grow the file past the
+    cap first rotates ``path -> path.1 -> ... -> path.<keep_last>`` (the
+    oldest file beyond ``keep_last`` is deleted) and reopens a fresh
+    ``path``.  Rotation happens *between* records, never inside one, so
+    every file in the set is independently valid JSONL.
     """
 
     active = True
 
-    def __init__(self, path: str | Path, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = False,
+        max_bytes: int | None = None,
+        keep_last: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
         self.path = Path(path)
         self.fsync = fsync
+        self.max_bytes = max_bytes
+        self.keep_last = keep_last
+        self.rotations = 0
         self._handle = None
+        self._size = 0
+
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        # Shift the archive chain oldest-last, same as checkpoint rotation.
+        oldest = self.path.with_name(self.path.name + f".{self.keep_last}")
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.keep_last - 1, 0, -1):
+            source = self.path.with_name(self.path.name + f".{index}")
+            if source.exists():
+                source.rename(self.path.with_name(self.path.name + f".{index + 1}"))
+        if self.path.exists():
+            self.path.rename(self.path.with_name(self.path.name + ".1"))
+        self.rotations += 1
+        self._size = 0
 
     def write(self, record: dict) -> None:
         if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("a", encoding="utf-8")
-        json.dump(record, self._handle, default=_json_fallback)
-        self._handle.write("\n")
+            self._open()
+        line = json.dumps(record, default=_json_fallback) + "\n"
+        encoded_len = len(line.encode("utf-8"))
+        if (
+            self.max_bytes is not None
+            and self._size > 0
+            and self._size + encoded_len > self.max_bytes
+        ):
+            self._rotate()
+            self._open()
+        self._handle.write(line)
         self._handle.flush()
+        self._size += encoded_len
         if self.fsync:
             os.fsync(self._handle.fileno())
 
@@ -175,4 +233,29 @@ def read_jsonl(path: str | Path, strict: bool = True) -> list[dict]:
         except json.JSONDecodeError:
             if strict or index != len(lines) - 1:
                 raise
+    return records
+
+
+def read_jsonl_rotated(path: str | Path, strict: bool = True) -> list[dict]:
+    """Replay a rotated log set (``path.N`` ... ``path.1``, ``path``) in order.
+
+    Archives are read oldest-first (highest suffix down to ``.1``, then the
+    live file), so the result is one chronological record stream.  Only the
+    live file may carry a torn tail, so ``strict=False`` applies there and
+    archives always parse strictly.
+    """
+    path = Path(path)
+    archives = []
+    index = 1
+    while True:
+        candidate = path.with_name(path.name + f".{index}")
+        if not candidate.exists():
+            break
+        archives.append(candidate)
+        index += 1
+    records: list[dict] = []
+    for archive in reversed(archives):
+        records.extend(read_jsonl(archive, strict=True))
+    if path.exists():
+        records.extend(read_jsonl(path, strict=strict))
     return records

@@ -16,10 +16,27 @@ Exports:
 from __future__ import annotations
 
 import functools
+import itertools
+import os
 import threading
 import time
+import uuid
 
 __all__ = ["Span", "Tracer", "trace", "get_tracer", "reset_tracer"]
+
+# Span ids are "<pid>-<counter>" in hex: unique within a process by the
+# counter, across processes by the pid — cheap enough for hot-loop spans.
+# Trace ids (minted only at un-parented roots) are full uuid4 hex.
+_SPAN_IDS = itertools.count(1)
+
+# Per-thread ambient parent context: ``(trace_id, span_id)`` installed by
+# :func:`repro.obs.context.use_context` so root spans opened in a worker
+# thread/process link back to the remote parent span.
+_AMBIENT = threading.local()
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():x}-{next(_SPAN_IDS):x}"
 
 
 class Span:
@@ -34,6 +51,9 @@ class Span:
         "error",
         "thread_id",
         "is_root",
+        "trace_id",
+        "span_id",
+        "parent_id",
     )
 
     def __init__(self, name: str) -> None:
@@ -45,6 +65,9 @@ class Span:
         self.error: str | None = None
         self.thread_id = threading.get_ident()
         self.is_root = False
+        self.trace_id: str | None = None
+        self.span_id = _new_span_id()
+        self.parent_id: str | None = None
 
     def finish(self, error: str | None = None) -> None:
         if self.end_s is None:
@@ -102,9 +125,19 @@ class Tracer:
         span = Span(name)
         stack = self._stack()
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            parent.children.append(span)
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
         else:
             span.is_root = True
+            ambient = getattr(_AMBIENT, "ctx", None)
+            if ambient is not None:
+                # A remote parent (another thread or process) propagated
+                # its context here: join its trace instead of starting one.
+                span.trace_id, span.parent_id = ambient
+            else:
+                span.trace_id = uuid.uuid4().hex
         stack.append(span)
         return span
 
@@ -153,16 +186,24 @@ class Tracer:
             break
         else:
             return []
+        pid = os.getpid()
         for span, _, _ in self.walk():
+            args = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+            }
+            if span.error:
+                args["error"] = span.error
             events.append(
                 {
                     "name": span.name,
                     "ph": "X",
                     "ts": (span.start_s - offset_s) * 1e6,
                     "dur": span.duration_s * 1e6,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": span.thread_id,
-                    "args": {"error": span.error} if span.error else {},
+                    "args": args,
                 }
             )
         return events

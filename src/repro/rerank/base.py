@@ -20,6 +20,7 @@ import numpy as np
 from ..data.batching import RerankBatch
 from ..data.schema import Catalog, Population, RankingRequest
 from ..obs import get_registry
+from ..obs import windows as _windows
 
 # The module object itself, not the re-exported ``chaos()`` context manager
 # that shadows it on the package namespace.
@@ -72,6 +73,10 @@ def _timed_rerank(fn):
                 get_registry().histogram(
                     "rerank.latency_ms", reranker=name
                 ).observe(elapsed_ms)
+                # Windowed twin (recent p50/p95/p99) + request-rate meter;
+                # both no-ops unless windowed metrics are enabled.
+                _windows.observe("rerank.latency_ms", elapsed_ms, reranker=name)
+                _windows.mark("rerank.requests", reranker=name)
 
     wrapper._obs_timed = True
     return wrapper

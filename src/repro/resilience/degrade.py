@@ -37,6 +37,7 @@ import time
 import numpy as np
 
 from ..obs import get_registry, get_run_logger
+from ..obs import windows as _windows
 from ..rerank.base import Reranker
 from .errors import CircuitOpenError, DeadlineExceeded
 
@@ -169,6 +170,13 @@ class ResilientReranker(Reranker):
     breaker:
         Circuit breaker guarding the primary (a default one is built when
         omitted).
+    slo_monitor:
+        Optional :class:`~repro.obs.slo.SLOMonitor` (see
+        :func:`~repro.obs.slo.serving_slo`).  When present, every request
+        records its end-to-end latency — with "degraded to a fallback"
+        counted as a bad event — and the monitor's burn rates are
+        re-evaluated per request, publishing ``obs.slo.*`` gauges and
+        alert events.
     """
 
     def __init__(
@@ -178,6 +186,7 @@ class ResilientReranker(Reranker):
         deadline_ms: float | None = 50.0,
         breaker: CircuitBreaker | None = None,
         clock=time.perf_counter,
+        slo_monitor=None,
     ) -> None:
         self.primary = primary
         primary_name = getattr(primary, "name", None) or type(primary).__name__
@@ -190,6 +199,7 @@ class ResilientReranker(Reranker):
             breaker if breaker is not None else CircuitBreaker(name=primary_name)
         )
         self._clock = clock
+        self.slo_monitor = slo_monitor
         self.requires_training = getattr(primary, "requires_training", False) or any(
             getattr(f, "requires_training", False) for f in self.fallbacks
         )
@@ -208,6 +218,21 @@ class ResilientReranker(Reranker):
     # Serving path
     # ------------------------------------------------------------------
     def rerank(self, batch) -> np.ndarray:
+        request_start = self._clock()
+        result, degraded = self._serve(batch)
+        if self.slo_monitor is not None or _windows.windowed_enabled():
+            elapsed_ms = 1000.0 * (self._clock() - request_start)
+            _windows.observe("resilience.request_ms", elapsed_ms, reranker=self.name)
+            _windows.mark("resilience.request_rate", reranker=self.name)
+            if degraded:
+                _windows.mark("resilience.degraded_rate", reranker=self.name)
+            if self.slo_monitor is not None:
+                self.slo_monitor.record(latency_ms=elapsed_ms, error=degraded)
+                self.slo_monitor.evaluate()
+        return result
+
+    def _serve(self, batch) -> "tuple[np.ndarray, bool]":
+        """The stage cascade; returns the slate plus whether it degraded."""
         registry = get_registry()
         registry.counter("resilience.requests", reranker=self.name).inc()
         stages = [self.primary, *self.fallbacks, _Passthrough()]
@@ -247,7 +272,7 @@ class ResilientReranker(Reranker):
                 continue
             if is_primary:
                 self.breaker.record_success()
-            return result
+            return result, not is_primary
         raise AssertionError("unreachable: passthrough cannot fail")
 
     def _check_deadline(self, stage_name: str, started: float) -> None:

@@ -42,7 +42,7 @@ class TestPublishBenchmark:
         assert snapshot["ops"] == [{"op": "a"}]
         assert bench_utils.read_trajectory() == [snapshot]
 
-    def test_rerun_replaces_own_tag_and_keeps_others(self, monkeypatch, tmp_path):
+    def test_rerun_keeps_history_and_other_tags(self, monkeypatch, tmp_path):
         bench_utils = _load_bench_utils()
         _redirect_paths(bench_utils, monkeypatch, tmp_path)
 
@@ -51,14 +51,92 @@ class TestPublishBenchmark:
         bench_utils.publish_benchmark("pr1", {"n": 3})
 
         rows = bench_utils.read_trajectory()
-        assert [(r["tag"], r["n"]) for r in rows] == [("pr2", 2), ("pr1", 3)]
-        lines = bench_utils.TRAJECTORY_PATH.read_text().splitlines()
-        assert len(lines) == 2
+        # Re-running a tag appends (history for the regression sentinel),
+        # chronological per tag, other tags untouched.
+        assert [(r["tag"], r["n"]) for r in rows] == [
+            ("pr1", 1),
+            ("pr2", 2),
+            ("pr1", 3),
+        ]
+
+    def test_history_capped_per_tag(self, monkeypatch, tmp_path):
+        bench_utils = _load_bench_utils()
+        _redirect_paths(bench_utils, monkeypatch, tmp_path)
+        monkeypatch.setattr(bench_utils, "TRAJECTORY_KEEP", 3)
+
+        bench_utils.publish_benchmark("other", {"n": 0})
+        for n in range(5):
+            bench_utils.publish_benchmark("pr1", {"n": n})
+
+        rows = bench_utils.read_trajectory()
+        pr1 = [r["n"] for r in rows if r["tag"] == "pr1"]
+        assert pr1 == [2, 3, 4]  # oldest dropped, order preserved
+        assert [r["n"] for r in rows if r["tag"] == "other"] == [0]
 
     def test_read_trajectory_empty_when_missing(self, monkeypatch, tmp_path):
         bench_utils = _load_bench_utils()
         _redirect_paths(bench_utils, monkeypatch, tmp_path)
         assert bench_utils.read_trajectory() == []
+
+    def test_publish_runs_sentinel_strict(self, monkeypatch, tmp_path):
+        bench_utils = _load_bench_utils()
+        _redirect_paths(bench_utils, monkeypatch, tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_REGRESS", "strict")
+
+        bench_utils.publish_benchmark("prX", {"step_ms": 10.0})
+        # 3x slower than the prior entry: the sentinel must fail the publish.
+        import pytest
+
+        with pytest.raises(AssertionError, match="REGRESSION"):
+            bench_utils.publish_benchmark("prX", {"step_ms": 30.0})
+
+    def test_publish_sentinel_warns_by_default(self, monkeypatch, tmp_path, capsys):
+        bench_utils = _load_bench_utils()
+        _redirect_paths(bench_utils, monkeypatch, tmp_path)
+        monkeypatch.delenv("REPRO_BENCH_REGRESS", raising=False)
+
+        bench_utils.publish_benchmark("prX", {"step_ms": 10.0})
+        bench_utils.publish_benchmark("prX", {"step_ms": 30.0})  # no raise
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestInterleavedMinOfK:
+    def test_takes_min_across_repeats(self):
+        bench_utils = _load_bench_utils()
+        samples = {"a": iter([3.0, 1.0, 2.0]), "b": iter([5.0, 4.0, 6.0])}
+        result = bench_utils.interleaved_min_of_k(
+            [("a", lambda: next(samples["a"])), ("b", lambda: next(samples["b"]))],
+            repeats=3,
+        )
+        assert result == {"a": 1.0, "b": 4.0}
+
+    def test_side_effect_steps_interleave(self):
+        bench_utils = _load_bench_utils()
+        calls: list[str] = []
+
+        def step(name):
+            def run():
+                calls.append(name)
+                return 1.0
+
+            return run
+
+        bench_utils.interleaved_min_of_k(
+            [("x", step("x")), (None, lambda: calls.append("cycle")), ("y", step("y"))],
+            repeats=2,
+        )
+        assert calls == ["x", "cycle", "y", "x", "cycle", "y"]
+
+    def test_rejects_duplicate_names_and_bad_repeats(self):
+        import pytest
+
+        bench_utils = _load_bench_utils()
+        with pytest.raises(ValueError):
+            bench_utils.interleaved_min_of_k(
+                [("a", lambda: 1.0), ("a", lambda: 1.0)]
+            )
+        with pytest.raises(ValueError):
+            bench_utils.interleaved_min_of_k([("a", lambda: 1.0)], repeats=0)
 
 
 class TestRecordedBenchmarkSnapshot:

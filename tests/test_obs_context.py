@@ -1,0 +1,200 @@
+"""Trace-context propagation tests: threads, processes, and merged traces.
+
+The multiprocessing round-trip uses ``spawn`` (the start method whose
+pickling rules are strictest) with a module-level worker, mirroring how a
+real serving process would fan a request out to a worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.obs import reset_tracer, trace
+from repro.obs.context import (
+    TraceContext,
+    chrome_trace_from_records,
+    current_context,
+    merge_span_records,
+    propagated,
+    span_records,
+    use_context,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    reset_tracer()
+    yield
+    reset_tracer()
+
+
+class TestTraceContext:
+    def test_dict_round_trip(self):
+        ctx = TraceContext(trace_id="abc", span_id="1f-2")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_header_round_trip(self):
+        ctx = TraceContext(trace_id="abc", span_id="1f-2")
+        assert ctx.to_header() == "abc-1f-2"
+        assert TraceContext.from_header(ctx.to_header()) == ctx
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_header("no_separator")
+
+    def test_current_context_none_when_idle(self):
+        assert current_context() is None
+
+    def test_current_context_inside_span(self):
+        with trace("outer") as span:
+            ctx = current_context()
+            assert ctx is not None
+            assert ctx.trace_id == span.trace_id
+            assert ctx.span_id == span.span_id
+        assert current_context() is None
+
+
+class TestPropagation:
+    def test_use_context_links_new_roots_to_remote_parent(self):
+        remote = TraceContext(trace_id="t" * 32, span_id="ff-1")
+        with use_context(remote):
+            assert current_context() == remote
+            with trace("adopted") as span:
+                assert span.trace_id == remote.trace_id
+                assert span.parent_id == remote.span_id
+        assert current_context() is None
+
+    def test_use_context_none_is_a_noop(self):
+        with use_context(None):
+            with trace("fresh") as span:
+                assert span.parent_id is None
+                assert span.trace_id is not None
+
+    def test_nested_spans_keep_local_linkage_under_remote_context(self):
+        remote = TraceContext(trace_id="t" * 32, span_id="ff-1")
+        with use_context(remote):
+            with trace("root") as root:
+                with trace("child") as child:
+                    assert child.parent_id == root.span_id
+                    assert child.trace_id == remote.trace_id
+
+    def test_propagated_carries_context_across_threads(self):
+        seen: dict[str, str | None] = {}
+
+        def work():
+            with trace("thread.work") as span:
+                seen["trace_id"] = span.trace_id
+                seen["parent_id"] = span.parent_id
+
+        with trace("request") as span:
+            thread = threading.Thread(target=propagated(work))
+            thread.start()
+            thread.join()
+        assert seen["trace_id"] == span.trace_id
+        assert seen["parent_id"] == span.span_id
+
+    def test_propagated_captures_at_bind_time_not_run_time(self):
+        with trace("request") as span:
+            bound = propagated(lambda: current_context())
+        # The span is closed by now; the binding must still point at it.
+        ctx = bound()
+        assert ctx is not None and ctx.span_id == span.span_id
+
+
+class TestRecordsAndMerge:
+    def test_span_records_are_json_safe_and_pid_tagged(self):
+        with trace("a"):
+            with trace("b"):
+                pass
+        records = span_records()
+        assert {r["name"] for r in records} == {"a", "b"}
+        for record in records:
+            assert record["pid"] == os.getpid()
+            assert record["duration_s"] >= 0.0
+        json.dumps(records)  # must serialize without custom encoders
+
+    def test_merge_sorts_by_wall_start_and_skips_dead_workers(self):
+        a = [{"name": "late", "wall_start": 2.0}]
+        b = [{"name": "early", "wall_start": 1.0}]
+        merged = merge_span_records(a, None, b)
+        assert [r["name"] for r in merged] == ["early", "late"]
+
+    def test_chrome_events_relative_timestamps_and_linkage(self):
+        records = [
+            {
+                "name": "parent",
+                "trace_id": "t",
+                "span_id": "1-1",
+                "parent_id": None,
+                "wall_start": 10.0,
+                "duration_s": 0.5,
+                "pid": 1,
+                "tid": 7,
+                "error": None,
+            },
+            {
+                "name": "child",
+                "trace_id": "t",
+                "span_id": "2-1",
+                "parent_id": "1-1",
+                "wall_start": 10.1,
+                "duration_s": 0.2,
+                "pid": 2,
+                "tid": 8,
+                "error": "boom",
+            },
+        ]
+        events = chrome_trace_from_records(records)
+        assert [e["ph"] for e in events] == ["X", "X"]
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == pytest.approx(0.1e6)
+        assert events[1]["args"]["parent_id"] == "1-1"
+        assert events[1]["args"]["error"] == "boom"
+        assert chrome_trace_from_records([]) == []
+
+    def test_write_chrome_trace(self, tmp_path):
+        with trace("only"):
+            pass
+        path = write_chrome_trace(tmp_path / "trace.json", span_records())
+        events = json.loads(path.read_text())
+        assert events[0]["name"] == "only"
+
+
+def _mp_worker(ctx_dict: dict) -> list[dict]:
+    """Spawn-side worker: adopt the parent's context, do traced work."""
+    reset_tracer()
+    with use_context(TraceContext.from_dict(ctx_dict)):
+        with trace("worker.shard"):
+            with trace("worker.step"):
+                pass
+    return span_records()
+
+
+class TestMultiprocessingRoundTrip:
+    def test_two_workers_merge_into_one_linked_trace(self, tmp_path):
+        with trace("serve.request") as root:
+            ctx = current_context()
+            with multiprocessing.get_context("spawn").Pool(2) as pool:
+                buffers = pool.map(_mp_worker, [ctx.to_dict()] * 2)
+        merged = merge_span_records(span_records(), *buffers)
+
+        assert len(merged) == 5  # parent root + 2 x (shard + step)
+        assert {r["trace_id"] for r in merged} == {root.trace_id}
+        assert len({r["pid"] for r in merged}) == 3  # parent + 2 workers
+        shards = [r for r in merged if r["name"] == "worker.shard"]
+        assert len(shards) == 2
+        for shard in shards:
+            assert shard["parent_id"] == root.span_id
+        steps = {r["parent_id"] for r in merged if r["name"] == "worker.step"}
+        assert steps == {s["span_id"] for s in shards}
+
+        path = write_chrome_trace(tmp_path / "merged.json", merged)
+        events = json.loads(path.read_text())
+        assert len(events) == 5
+        assert len({e["pid"] for e in events}) == 3

@@ -109,12 +109,40 @@ class TestRegistry:
         # Same labels (any order) return the cached series.
         assert registry.counter("ops", op="add") is a
 
-    def test_label_cardinality_guard(self):
+    def test_label_cardinality_guard_routes_to_overflow(self):
         registry = MetricsRegistry(max_series_per_metric=5)
         for i in range(5):
-            registry.counter("unbounded", request=i)
-        with pytest.raises(ValueError, match="max_series_per_metric"):
-            registry.counter("unbounded", request=999)
+            registry.counter("unbounded", request=i).inc()
+        # Past the cap, new label sets all share one overflow series
+        # instead of raising — serving code must not crash on an
+        # unbounded label.
+        overflow_a = registry.counter("unbounded", request=999)
+        overflow_b = registry.counter("unbounded", request=12345)
+        assert overflow_a is overflow_b
+        overflow_a.inc()
+        snapshot = {
+            tuple(sorted(s["labels"].items())): s
+            for s in registry.collect()
+            if s["name"] == "unbounded"
+        }
+        assert snapshot[(("overflow", "true"),)]["value"] == 1
+        # The drop is itself counted, labeled by the offending metric.
+        dropped = registry.counter("obs.dropped_series", metric="unbounded")
+        assert dropped.value == 2
+        # Existing (pre-cap) series keep resolving to their own series.
+        assert registry.counter("unbounded", request=0).value == 1
+
+    def test_cardinality_overflow_logs_once(self, caplog):
+        import logging
+
+        registry = MetricsRegistry(max_series_per_metric=2)
+        with caplog.at_level(logging.WARNING, logger="repro.obs.metrics"):
+            for i in range(10):
+                registry.counter("noisy", request=i)
+        warnings = [
+            r for r in caplog.records if "max_series_per_metric" in r.message
+        ]
+        assert len(warnings) == 1
 
     def test_kind_conflict_rejected(self):
         registry = MetricsRegistry()

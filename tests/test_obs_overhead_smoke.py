@@ -1,50 +1,74 @@
-"""Smoke-test wiring for ``benchmarks/bench_obs_overhead.py``.
+"""Smoke-test wiring for ``benchmarks/bench_obs_overhead.py`` (obs v2).
 
 Runs the microbenchmark's machinery at reduced scale and checks structure
 only — no wall-clock assertions, so the suite stays deterministic on busy
-machines.  The real <5% overhead gate runs via
+machines.  The real <5% overhead gates run via
 ``python benchmarks/bench_obs_overhead.py``.
 """
 
 from __future__ import annotations
 
 import importlib.util
+import sys
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-_BENCH_PATH = (
-    Path(__file__).resolve().parents[1] / "benchmarks" / "bench_obs_overhead.py"
-)
+from repro.obs import windows
+from repro.obs.profiler import get_profiler
+
+_BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
 
 
 @pytest.fixture(scope="module")
 def bench():
-    spec = importlib.util.spec_from_file_location(
-        "bench_obs_overhead", _BENCH_PATH
-    )
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
+    sys.path.insert(0, str(_BENCH_DIR))  # for its `from bench_utils import ...`
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "bench_obs_overhead", _BENCH_DIR / "bench_obs_overhead.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(_BENCH_DIR))
 
 
-def test_instrumentation_cost_is_measurable(bench):
-    cost = bench.instrumentation_cost_per_batch(iterations=2000)
+def test_disabled_call_cost_is_measurable(bench):
+    cost = bench.disabled_call_seconds(iterations=5000)
     assert np.isfinite(cost)
-    assert 0.0 < cost < 1.0  # sane per-batch seconds, not a timing gate
+    assert 0.0 < cost < 1.0  # sane per-call seconds, not a timing gate
 
 
-def test_measure_reports_structure(bench):
-    result = bench.measure(iterations=2000)
+def test_cycle_obs_leaves_everything_off(bench):
+    bench._cycle_obs()
+    assert not windows.windowed_enabled()
+    profiler = get_profiler()
+    assert profiler is None or not profiler.running
+
+
+@pytest.mark.bench
+@pytest.mark.slow
+def test_measure_reports_structure_and_restores_state(bench, monkeypatch, tmp_path):
+    result = bench.measure()
     assert set(result) == {
-        "obs_us_per_batch",
-        "train_ms_per_batch",
-        "overhead_fraction",
+        "train_baseline_ms_per_batch",
+        "train_disabled_ms_per_batch",
+        "train_disabled_overhead_fraction",
+        "rerank_baseline_ms_per_request",
+        "rerank_disabled_ms_per_request",
+        "rerank_disabled_overhead_fraction",
+        "rerank_windowed_ms_per_request",
+        "windowed_enabled_overhead_fraction",
+        "disabled_call_us",
     }
-    assert result["train_ms_per_batch"] > 0.0
-    assert result["overhead_fraction"] >= 0.0
-    assert np.isfinite(result["overhead_fraction"])
+    assert result["train_baseline_ms_per_batch"] > 0.0
+    assert result["rerank_baseline_ms_per_request"] > 0.0
+    assert np.isfinite(result["train_disabled_overhead_fraction"])
+    assert np.isfinite(result["rerank_disabled_overhead_fraction"])
+    # The bench must leave every opt-in surface off for the rest of the suite.
+    assert not windows.windowed_enabled()
 
 
 def test_budget_constant_is_five_percent(bench):

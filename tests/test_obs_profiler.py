@@ -1,0 +1,132 @@
+"""Sampling-profiler tests: deterministic sampling, exports, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiler as profiler_module
+from repro.obs.profiler import SamplingProfiler, get_profiler, sampling_profile
+
+
+@pytest.fixture(autouse=True)
+def _no_global_profiler():
+    """Leave the module-global profiler stopped and cleared around each test."""
+    yield
+    if profiler_module._GLOBAL_PROFILER is not None:
+        profiler_module._GLOBAL_PROFILER.stop()
+        profiler_module._GLOBAL_PROFILER = None
+
+
+def _marker_function_for_profiler_test(stop: threading.Event) -> None:
+    while not stop.wait(0.001):
+        pass
+
+
+class TestSampling:
+    def test_sample_once_captures_named_frame(self):
+        profiler = SamplingProfiler()
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=_marker_function_for_profiler_test, args=(stop,)
+        )
+        thread.start()
+        try:
+            for _ in range(3):
+                profiler.sample_once(skip_thread=threading.get_ident())
+        finally:
+            stop.set()
+            thread.join()
+        assert profiler.samples >= 3
+        assert any(
+            "_marker_function_for_profiler_test" in frame
+            for stack, _ in profiler.stack_counts()
+            for frame in stack
+        )
+
+    def test_background_thread_collects_samples(self):
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=_marker_function_for_profiler_test, args=(stop,)
+        )
+        thread.start()
+        try:
+            profiler = SamplingProfiler(hz=200.0).start()
+            assert profiler.running
+            deadline = time.monotonic() + 5.0
+            while profiler.samples == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            profiler.stop()
+        finally:
+            stop.set()
+            thread.join()
+        assert not profiler.running
+        assert profiler.samples > 0
+        assert profiler.elapsed_s > 0.0
+
+    def test_stopped_profiler_is_inert(self):
+        profiler = SamplingProfiler()
+        assert not profiler.running
+        profiler.stop()  # idempotent on a never-started profiler
+        assert profiler.samples == 0
+
+    def test_reset_clears_counts(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        assert profiler.samples > 0
+        profiler.reset()
+        assert profiler.samples == 0
+        assert profiler.stack_counts() == []
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+
+
+class TestExports:
+    def _profiled(self) -> SamplingProfiler:
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        return profiler
+
+    def test_collapsed_format(self):
+        profiler = self._profiled()
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert int(count) >= 1
+            assert ";" in stack or stack  # root;...;leaf chain
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = self._profiled()
+        path = profiler.write_collapsed(tmp_path / "profile.folded")
+        assert path.read_text().strip() == profiler.collapsed().strip()
+
+    def test_top_functions_aggregates_leaves(self):
+        profiler = self._profiled()
+        top = profiler.top_functions(5)
+        assert top
+        assert sum(count for _, count in top) <= profiler.samples
+        assert top == sorted(top, key=lambda kv: kv[1], reverse=True)
+
+    def test_format_top_mentions_sample_count(self):
+        profiler = self._profiled()
+        assert f"{profiler.samples} samples" in profiler.format_top()
+
+
+class TestGlobalLifecycle:
+    def test_sampling_profile_context_runs_and_stops(self):
+        with sampling_profile(hz=200.0) as profiler:
+            assert profiler.running
+            deadline = time.monotonic() + 5.0
+            while profiler.samples == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert not profiler.running
+        assert get_profiler() is profiler
+        assert profiler.samples > 0
+
+    def test_get_profiler_none_until_started(self):
+        assert get_profiler() is None

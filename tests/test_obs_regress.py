@@ -1,0 +1,199 @@
+"""Benchmark-regression sentinel tests, plus the tier-1 trajectory gate.
+
+``TestCheckedInTrajectory`` is the CI wiring: it runs the real sentinel
+CLI over the repo's committed ``benchmarks/results/trajectory.jsonl`` on
+every test run, so a regression recorded by ``publish_benchmark`` cannot
+land silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_BAND,
+    Regression,
+    check_trajectory,
+    compare_records,
+    find_trajectory,
+    flatten_metrics,
+    main,
+    _direction,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _write_trajectory(path: Path, records: list[dict]) -> Path:
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+class TestDirection:
+    @pytest.mark.parametrize(
+        "key",
+        ["median_ms", "train_baseline_ms_per_batch", "p95_ms", "step.ms"],
+    )
+    def test_ms_components_are_lower_is_better(self, key):
+        assert _direction(key) == "lower_is_better"
+
+    @pytest.mark.parametrize(
+        "key",
+        ["speedup_vs_unfused", "ops_per_sec", "throughput", "qps_served"],
+    )
+    def test_rate_components_are_higher_is_better(self, key):
+        assert _direction(key) == "higher_is_better"
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "disabled_overhead_fraction",  # gated by the bench itself
+            "count",
+            "notes",
+            "milliseconds",  # "ms" must match a whole component, not a substring
+        ],
+    )
+    def test_untracked_keys(self, key):
+        assert _direction(key) is None
+
+
+class TestFlatten:
+    def test_pr2_style_ops_list(self):
+        record = {
+            "tag": "pr2",
+            "ops": [
+                {"op": "lstm_step", "median_ms": 1.5, "speedup_vs_unfused": 4.0},
+                {"op": "gru_step", "median_ms": 1.2},
+            ],
+            "total_ms": 10.0,
+            "overhead_fraction": 0.01,
+            "nested": {"inner_ms": 2.0},
+        }
+        flat = flatten_metrics(record)
+        assert flat == {
+            "ops.lstm_step.median_ms": 1.5,
+            "ops.lstm_step.speedup_vs_unfused": 4.0,
+            "ops.gru_step.median_ms": 1.2,
+            "total_ms": 10.0,
+            "nested.inner_ms": 2.0,
+        }
+
+    def test_rows_without_labels_and_bools_skipped(self):
+        record = {"ops": [{"median_ms": 1.0}], "flag_ms": True}
+        assert flatten_metrics(record) == {}
+
+
+class TestCompareRecords:
+    def test_within_band_is_quiet(self):
+        worse, better = compare_records({"a_ms": 10.0}, {"a_ms": 10.9})
+        assert worse == [] and better == []
+
+    def test_slower_ms_beyond_band_regresses(self):
+        worse, _ = compare_records(
+            {"tag": "t", "a_ms": 10.0}, {"tag": "t", "a_ms": 12.0}
+        )
+        assert len(worse) == 1
+        assert worse[0].metric == "a_ms"
+        assert worse[0].change_fraction == pytest.approx(0.2)
+        assert "↑" in worse[0].describe()
+
+    def test_faster_ms_is_an_improvement(self):
+        _, better = compare_records({"a_ms": 10.0}, {"a_ms": 5.0})
+        assert [r.metric for r in better] == ["a_ms"]
+
+    def test_floor_absorbs_tiny_absolute_changes(self):
+        # 0.01 -> 0.05 ms is +400% but under the 0.05 ms floor: noise.
+        worse, _ = compare_records({"a_ms": 0.01}, {"a_ms": 0.05})
+        assert worse == []
+
+    def test_speedup_drop_regresses(self):
+        worse, _ = compare_records({"speedup": 4.0}, {"speedup": 3.0})
+        assert len(worse) == 1
+        assert worse[0].direction == "higher_is_better"
+        assert "↓" in worse[0].describe()
+
+    def test_fields_in_only_one_record_are_skipped(self):
+        worse, better = compare_records({"a_ms": 1.0}, {"b_ms": 99.0})
+        assert worse == [] and better == []
+
+
+class TestCheckTrajectory:
+    def test_compares_last_two_entries_per_tag(self, tmp_path):
+        path = _write_trajectory(
+            tmp_path / "t.jsonl",
+            [
+                {"tag": "x", "a_ms": 30.0},  # old history: must be ignored
+                {"tag": "x", "a_ms": 10.0},
+                {"tag": "x", "a_ms": 20.0},
+                {"tag": "lonely", "a_ms": 1.0},
+            ],
+        )
+        report = check_trajectory(path)
+        assert not report.ok
+        assert report.compared_tags == ["x"]
+        assert report.skipped_tags == ["lonely"]
+        assert report.regressions[0].prior == 10.0
+        assert report.regressions[0].current == 20.0
+
+    def test_tag_filter(self, tmp_path):
+        path = _write_trajectory(
+            tmp_path / "t.jsonl",
+            [
+                {"tag": "bad", "a_ms": 10.0},
+                {"tag": "bad", "a_ms": 20.0},
+                {"tag": "good", "a_ms": 10.0},
+                {"tag": "good", "a_ms": 10.0},
+            ],
+        )
+        assert not check_trajectory(path).ok
+        assert check_trajectory(path, tags=["good"]).ok
+
+    def test_report_format_mentions_verdict(self, tmp_path):
+        path = _write_trajectory(
+            tmp_path / "t.jsonl",
+            [{"tag": "x", "a_ms": 10.0}, {"tag": "x", "a_ms": 10.0}],
+        )
+        text = check_trajectory(path).format()
+        assert "OK — no regressions" in text
+
+
+class TestCli:
+    def test_exit_1_on_regression_and_0_when_clean(self, tmp_path, capsys):
+        path = _write_trajectory(
+            tmp_path / "t.jsonl",
+            [{"tag": "x", "a_ms": 10.0}, {"tag": "x", "a_ms": 20.0}],
+        )
+        assert main([str(path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # A wide band declares the same delta noise.
+        assert main([str(path), "--band", "2.0"]) == 0
+
+    def test_exit_2_on_missing_and_corrupt_files(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 2
+        broken = tmp_path / "broken.jsonl"
+        broken.write_text("{not json\n")
+        assert main([str(broken)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_find_trajectory_walks_up(self, tmp_path, tmp_path_factory):
+        results = tmp_path / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        (results / "trajectory.jsonl").write_text("")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_trajectory(nested) == results / "trajectory.jsonl"
+        # A tree with no trajectory anywhere above it finds nothing.
+        assert find_trajectory(tmp_path_factory.mktemp("bare")) is None
+
+
+class TestCheckedInTrajectory:
+    """Tier-1 gate: the committed trajectory must pass the sentinel."""
+
+    def test_real_trajectory_is_clean(self, capsys):
+        trajectory = REPO_ROOT / "benchmarks" / "results" / "trajectory.jsonl"
+        assert trajectory.exists(), "committed benchmark trajectory missing"
+        assert main([str(trajectory), "--band", str(DEFAULT_BAND)]) == 0
+        assert "verdict: OK" in capsys.readouterr().out

@@ -1,0 +1,195 @@
+"""Tests for sliding-window histograms, windowed counters, and EWMA meters."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry, reset_registry
+from repro.obs.windows import (
+    EwmaMeter,
+    WindowedCounter,
+    WindowedHistogram,
+    disable_windowed,
+    enable_windowed,
+    mark,
+    observe,
+    windowed_enabled,
+    windowed_metrics,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestWindowedHistogram:
+    def test_quantiles_match_brute_force_oracle(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("t", window_s=60.0, buckets=6, clock=clock)
+        rng = np.random.default_rng(0)
+        recorded: list[tuple[float, float]] = []  # (ts, value)
+        for _ in range(600):
+            value = float(rng.exponential(10.0))
+            hist.observe(value)
+            recorded.append((clock.now, value))
+            clock.advance(float(rng.uniform(0.0, 0.3)))
+        # Brute-force oracle with the documented sub-window granularity:
+        # a sample is live while its sub-window (span = window/buckets) is
+        # within ``buckets`` ticks of the current one, so the effective
+        # window is window_s..window_s+span_s depending on alignment.
+        span = 60.0 / 6
+        now_tick = math.floor(clock.now / span)
+        live = [
+            v
+            for ts, v in recorded
+            if now_tick - math.floor(ts / span) <= 6
+        ]
+        assert hist.count == len(live)
+        assert hist.sum == pytest.approx(sum(live))
+        for q in (0.5, 0.95, 0.99):
+            oracle = float(np.quantile(np.sort(live), q, method="linear"))
+            assert hist.quantile(q) == pytest.approx(oracle)
+
+    def test_old_samples_expire(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("t", window_s=10.0, buckets=5, clock=clock)
+        for _ in range(50):
+            hist.observe(100.0)
+        clock.advance(12.5)  # window + one sub-window span: all expired
+        assert hist.count == 0
+        assert hist.p95 == 0.0
+        hist.observe(1.0)
+        assert hist.count == 1
+        assert hist.p50 == pytest.approx(1.0)
+
+    def test_partial_expiry_drops_only_old_buckets(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("t", window_s=10.0, buckets=5, clock=clock)
+        hist.observe(100.0)  # lands in the first sub-window
+        clock.advance(6.0)
+        hist.observe(1.0)  # much later sub-window
+        clock.advance(6.5)  # first sub-window expired, second still live
+        assert hist.count == 1
+        assert hist.p50 == pytest.approx(1.0)
+
+    def test_decimation_caps_memory_keeps_count(self):
+        clock = FakeClock()
+        hist = WindowedHistogram(
+            "t", window_s=60.0, buckets=6, max_samples_per_bucket=64, clock=clock
+        )
+        values = [float(v) for v in range(1000)]
+        np.random.default_rng(0).shuffle(values)
+        # (Every-other decimation is quantile-neutral for randomly ordered
+        # arrivals; monotone arrivals would skew recent — same caveat as
+        # the cumulative histogram's reservoir.)
+        for v in values:
+            hist.observe(v)
+        assert hist.count == 1000  # exact count survives decimation
+        assert hist.p50 == pytest.approx(500.0, rel=0.3)
+
+    def test_snapshot_shape(self):
+        hist = WindowedHistogram("t", window_s=60.0)
+        hist.observe(2.0)
+        snap = hist.snapshot()
+        assert snap["kind"] == "windowed_histogram"
+        assert snap["window_s"] == 60.0
+        for key in ("count", "sum", "mean", "p50", "p95", "p99"):
+            assert key in snap
+
+
+class TestWindowedCounter:
+    def test_total_over_window_vs_lifetime(self):
+        clock = FakeClock()
+        counter = WindowedCounter("c", window_s=10.0, buckets=5, clock=clock)
+        counter.add(5.0)
+        clock.advance(12.5)  # window + one sub-window span: expired
+        counter.add(2.0)
+        assert counter.total == pytest.approx(2.0)  # windowed
+        assert counter.lifetime_total == pytest.approx(7.0)
+
+
+class TestEwmaMeter:
+    def test_converges_to_constant_rate(self):
+        clock = FakeClock()
+        meter = EwmaMeter("m", taus=(60.0,), tick_s=5.0, clock=clock)
+        # 100 events/s for 10 minutes: the 60s EWMA must converge.
+        for _ in range(120):
+            meter.mark(500.0)  # 500 events per 5s tick
+            clock.advance(5.0)
+        assert meter.rate(60.0) == pytest.approx(100.0, rel=0.05)
+
+    def test_decays_when_idle(self):
+        clock = FakeClock()
+        meter = EwmaMeter("m", taus=(60.0,), tick_s=5.0, clock=clock)
+        for _ in range(120):
+            meter.mark(500.0)
+            clock.advance(5.0)
+        busy = meter.rate(60.0)
+        clock.advance(120.0)  # two time constants of silence
+        idle = meter.rate(60.0)
+        assert idle < busy * math.exp(-1.5)  # decayed at least ~e^-2-ish
+
+    def test_mean_rate(self):
+        clock = FakeClock()
+        meter = EwmaMeter("m", clock=clock)
+        meter.mark(50.0)
+        clock.advance(10.0)
+        assert meter.mean_rate() == pytest.approx(5.0)
+
+    def test_snapshot_keys(self):
+        meter = EwmaMeter("m")
+        meter.mark()
+        snap = meter.snapshot()
+        assert snap["kind"] == "meter"
+        assert "rate_60s_per_s" in snap
+        assert "mean_rate_per_s" in snap
+
+
+class TestOptInHelpers:
+    def teardown_method(self):
+        disable_windowed()
+        reset_registry()
+
+    def test_disabled_by_default_no_series_created(self):
+        reset_registry()
+        assert not windowed_enabled()
+        observe("off.latency_ms", 5.0)
+        mark("off.rate")
+        assert not any(
+            s["name"].startswith("off.") for s in get_registry().collect()
+        )
+
+    def test_enabled_records_into_registry(self):
+        reset_registry()
+        enable_windowed()
+        observe("on.latency_ms", 5.0, model="x")
+        mark("on.rate")
+        names = {s["name"]: s for s in get_registry().collect()}
+        assert names["on.latency_ms"]["kind"] == "windowed_histogram"
+        assert names["on.latency_ms"]["count"] == 1
+        assert names["on.rate"]["kind"] == "meter"
+
+    def test_context_manager_restores(self):
+        with windowed_metrics():
+            assert windowed_enabled()
+        assert not windowed_enabled()
+
+    def test_windowed_and_cumulative_share_a_name(self):
+        reset_registry()
+        registry = get_registry()
+        registry.histogram("shared.latency_ms").observe(1.0)
+        registry.windowed_histogram("shared.latency_ms").observe(2.0)
+        kinds = sorted(
+            s["kind"] for s in registry.collect() if s["name"] == "shared.latency_ms"
+        )
+        assert kinds == ["histogram", "windowed_histogram"]

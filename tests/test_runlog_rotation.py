@@ -1,0 +1,102 @@
+"""Size-based rotation tests for ``JsonlSink`` + rotated-set reading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.runlog import JsonlSink, read_jsonl, read_jsonl_rotated
+
+
+def _write_events(sink: JsonlSink, count: int, start: int = 0) -> None:
+    for index in range(start, start + count):
+        sink.write({"n": index, "pad": "x" * 40})
+    sink.close()
+
+
+class TestRotation:
+    def test_rotates_at_size_cap_without_splitting_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=200)
+        _write_events(sink, 12)
+        assert sink.rotations > 0
+        # Every file in the set — live and archived — is valid JSONL on
+        # its own: rotation only ever happens between records.
+        seen = []
+        for file in [path, *path.parent.glob("run.jsonl.*")]:
+            for line in file.read_text().splitlines():
+                seen.append(json.loads(line)["n"])
+        # Retained records are the contiguous most-recent suffix.
+        assert sorted(seen) == list(range(12 - len(seen), 12))
+
+    def test_keep_last_prunes_oldest(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=120, keep_last=2)
+        _write_events(sink, 40)
+        archives = sorted(p.name for p in path.parent.glob("run.jsonl.*"))
+        assert archives == ["run.jsonl.1", "run.jsonl.2"]
+
+    def test_archive_chain_is_chronological(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=120, keep_last=3)
+        _write_events(sink, 20)
+        # .1 is the most recent archive; higher indexes are older.
+        first_of = {}
+        for index in (1, 2):
+            archive = path.with_name(f"run.jsonl.{index}")
+            first_of[index] = json.loads(archive.read_text().splitlines()[0])["n"]
+        assert first_of[2] < first_of[1]
+        live_first = json.loads(path.read_text().splitlines()[0])["n"]
+        assert first_of[1] < live_first
+
+    def test_single_oversized_record_still_lands(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=10)
+        sink.write({"big": "y" * 100})  # larger than the whole cap
+        sink.close()
+        assert json.loads(path.read_text())["big"] == "y" * 100
+
+    def test_no_rotation_without_cap(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        _write_events(sink, 50)
+        assert sink.rotations == 0
+        assert list(path.parent.glob("run.jsonl.*")) == []
+
+    def test_size_resumes_from_existing_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_events(JsonlSink(path, max_bytes=10_000), 3)
+        # A new sink over the same file must count its existing bytes.
+        sink = JsonlSink(path, max_bytes=path.stat().st_size + 10)
+        sink.write({"n": 3, "pad": "x" * 40})
+        sink.close()
+        assert sink.rotations == 1
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", max_bytes=10, keep_last=0)
+
+
+class TestReadRotated:
+    def test_reads_archives_then_live_in_order(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, max_bytes=150, keep_last=5)
+        _write_events(sink, 20)
+        records = read_jsonl_rotated(path)
+        numbers = [r["n"] for r in records]
+        assert numbers == sorted(numbers)
+        assert numbers[-1] == 19
+        # More history than the live file alone, in one contiguous run.
+        assert len(numbers) > len(read_jsonl(path))
+        assert numbers == list(range(numbers[0], 20))
+
+    def test_plain_file_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_events(JsonlSink(path), 5)
+        assert read_jsonl_rotated(path) == read_jsonl(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_jsonl_rotated(tmp_path / "absent.jsonl") == []
