@@ -8,9 +8,15 @@ instrumented hot paths:
 
 - **training residue** — per-batch train cost before any obs-v2 use vs
   after a full enable/disable cycle (windowed metrics + SLO monitor +
-  sampling profiler).  Gated under ``MAX_DISABLED_OVERHEAD`` (5%).
+  sampling profiler + op profiler).  Gated under
+  ``MAX_DISABLED_OVERHEAD`` (5%).
 - **serving residue** — per-request ``rerank`` latency, same cycle, same
   gate.
+- **inference-path residue** — per-request latency of a neural reranker
+  on the tape-free float32 path (``repro.nn.inference``), same cycle,
+  same gate: the op profiler installs ``inference._PROFILE_HOOK`` and
+  the disabled cost of that hook point is one module-global ``None``
+  check per kernel call.
 - **enabled cost** — the same request path with windowed metrics *on*,
   reported (not gated): the price of recent percentiles, for DESIGN.md's
   "when to enable" guidance.
@@ -34,13 +40,17 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from bench_utils import interleaved_min_of_k, publish_benchmark
 
 from repro.core.rapid import RapidConfig, make_rapid_variant
-from repro.core.trainer import TrainConfig, train_rapid
+from repro.core.trainer import RapidReranker, TrainConfig, train_rapid
 from repro.data import build_batch
 from repro.eval import ExperimentConfig, prepare_bundle
+from repro.nn import inference
 from repro.obs import windows
+from repro.obs.autograd import disable_op_profiler, enable_op_profiler
 from repro.obs.profiler import start_sampling, stop_sampling
 from repro.obs.slo import serving_slo
 from repro.rerank import MMRReranker
@@ -72,9 +82,11 @@ def _bundle():
 def _cycle_obs() -> None:
     """Enable and disable every opt-in obs-v2 surface.
 
-    Windowed metrics, an SLO monitor taking records, and the sampling
-    profiler all turn on and back off; any residue left behind (a stale
-    flag, a lingering sampler thread, leaked windowed series feeding) is
+    Windowed metrics, an SLO monitor taking records, the sampling
+    profiler, and the op profiler (which installs
+    ``inference._PROFILE_HOOK`` on the tape-free kernels) all turn on and
+    back off; any residue left behind (a stale flag, a lingering sampler
+    thread, leaked windowed series feeding, a hook not uninstalled) is
     exactly what the gates exist for.
     """
     windows.enable_windowed()
@@ -84,7 +96,13 @@ def _cycle_obs() -> None:
     profiler = start_sampling(hz=50)
     profiler.sample_once()
     stop_sampling()
+    enable_op_profiler()
+    inference.linear_nd(
+        np.ones((2, 3), dtype=np.float32), np.ones((3, 2), dtype=np.float32), None
+    )
+    disable_op_profiler()
     windows.disable_windowed()
+    assert inference._PROFILE_HOOK is None
 
 
 def disabled_call_seconds(iterations: int = 200_000) -> float:
@@ -147,11 +165,26 @@ def measure() -> dict[str, float]:
         bundle.histories,
     )
     reranker = MMRReranker()
+    neural = RapidReranker(
+        RapidConfig(
+            user_dim=bundle.world.population.feature_dim,
+            item_dim=bundle.world.catalog.feature_dim,
+            num_topics=bundle.world.catalog.num_topics,
+            hidden=4,
+            seed=0,
+        ),
+        variant="rapid-pro",
+    )
+
+    def best_infer_seconds() -> float:
+        with inference.use_infer(True):
+            return best_rerank_seconds(neural, batch)
 
     # Steady-state the process (allocator pools, numpy caches, first-call
     # module loads) before anything is timed.
     best_batch_seconds(bundle, runs=1)
     best_rerank_seconds(reranker, batch, rounds=20)
+    best_infer_seconds()
     _cycle_obs()
 
     def rerank_windowed() -> float:
@@ -165,9 +198,11 @@ def measure() -> dict[str, float]:
         [
             ("train_baseline", lambda: best_batch_seconds(bundle)),
             ("rerank_baseline", lambda: best_rerank_seconds(reranker, batch)),
+            ("infer_baseline", best_infer_seconds),
             (None, _cycle_obs),
             ("train_disabled", lambda: best_batch_seconds(bundle)),
             ("rerank_disabled", lambda: best_rerank_seconds(reranker, batch)),
+            ("infer_disabled", best_infer_seconds),
             ("rerank_windowed", rerank_windowed),
         ],
         repeats=REPEATS,
@@ -184,6 +219,11 @@ def measure() -> dict[str, float]:
         "rerank_disabled_ms_per_request": 1e3 * best["rerank_disabled"],
         "rerank_disabled_overhead_fraction": best["rerank_disabled"]
         / best["rerank_baseline"]
+        - 1.0,
+        "infer_baseline_ms_per_request": 1e3 * best["infer_baseline"],
+        "infer_disabled_ms_per_request": 1e3 * best["infer_disabled"],
+        "infer_disabled_overhead_fraction": best["infer_disabled"]
+        / best["infer_baseline"]
         - 1.0,
         "rerank_windowed_ms_per_request": 1e3 * best["rerank_windowed"],
         "windowed_enabled_overhead_fraction": best["rerank_windowed"]
@@ -202,6 +242,9 @@ def main() -> None:
         f"rerank baseline:     {result['rerank_baseline_ms_per_request']:.3f} ms/req\n"
         f"rerank after cycle:  {result['rerank_disabled_ms_per_request']:.3f} ms/req "
         f"({100 * result['rerank_disabled_overhead_fraction']:+.2f}%)\n"
+        f"infer baseline:      {result['infer_baseline_ms_per_request']:.3f} ms/req\n"
+        f"infer after cycle:   {result['infer_disabled_ms_per_request']:.3f} ms/req "
+        f"({100 * result['infer_disabled_overhead_fraction']:+.2f}%)\n"
         f"rerank windowed on:  {result['rerank_windowed_ms_per_request']:.3f} ms/req "
         f"({100 * result['windowed_enabled_overhead_fraction']:+.2f}%)\n"
         f"disabled call pair:  {result['disabled_call_us']:.3f} us"
@@ -216,6 +259,11 @@ def main() -> None:
     assert result["rerank_disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD, (
         f"disabled obs-v2 residue on rerank "
         f"{result['rerank_disabled_overhead_fraction']:.2%} exceeds the "
+        f"{MAX_DISABLED_OVERHEAD:.0%} budget"
+    )
+    assert result["infer_disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD, (
+        f"disabled obs-v2 residue on the inference path "
+        f"{result['infer_disabled_overhead_fraction']:.2%} exceeds the "
         f"{MAX_DISABLED_OVERHEAD:.0%} budget"
     )
     print(f"OK (disabled residue < {MAX_DISABLED_OVERHEAD:.0%} budget)")

@@ -24,7 +24,7 @@ import numpy as np
 
 from .. import nn
 from ..data.batching import RerankBatch
-from ..nn import Tensor
+from ..nn import Tensor, inference
 from .coverage import incremental_gain, marginal_diversity
 
 __all__ = ["PersonalizedDiversityEstimator"]
@@ -127,3 +127,42 @@ class PersonalizedDiversityEstimator(nn.Module):
         return Tensor(gains) * theta.reshape(
             batch.batch_size, 1, self.num_topics
         )  # Eq. 6
+
+    # ------------------------------------------------------------------
+    # Tape-free inference twins (see repro.nn.inference).
+    # ------------------------------------------------------------------
+    def infer_preference(self, batch: RerankBatch) -> np.ndarray:
+        """theta_hat (B, m) on raw arrays in the inference dtype."""
+        dtype = inference.infer_dtype()
+        b, m, d, _ = batch.topic_history_features.shape
+        user = np.broadcast_to(
+            batch.user_features[:, None, None, :],
+            (b, m, d, batch.user_features.shape[-1]),
+        )
+        sequences = np.concatenate(
+            [user, batch.topic_history_features], axis=3
+        ).astype(dtype, copy=False)
+        flat = sequences.reshape(b * m, d, sequences.shape[-1])
+        flat_mask = batch.topic_history_mask.reshape(b * m, d)
+        if self.aggregator == "lstm":
+            _, final = self.topic_encoder.infer(flat, mask=flat_mask)
+        else:
+            projected = self.topic_proj.infer(flat)
+            weights = flat_mask.astype(dtype)
+            denom = np.maximum(weights.sum(axis=1, keepdims=True), dtype.type(1.0))
+            final = (projected * weights[:, :, None]).sum(axis=1) / denom
+        topics = final.reshape(b, m, self.hidden)
+        attended = self.inter_topic_attention.infer(topics)
+        theta_logits = self.preference_mlp.infer(
+            attended.reshape(b, m * self.hidden)
+        )
+        return inference.softmax_nd(theta_logits, axis=-1)
+
+    def infer(self, batch: RerankBatch) -> np.ndarray:
+        """Delta_R (B, L, m) on raw arrays in the inference dtype."""
+        theta = self.infer_preference(batch)
+        if self.marginal_mode == "sequential":
+            gains = incremental_gain(batch.coverage, kind=self.coverage_kind)
+        else:
+            gains = marginal_diversity(batch.coverage)
+        return gains.astype(theta.dtype, copy=False) * theta[:, None, :]

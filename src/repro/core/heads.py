@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
-from ..nn import Tensor
+from ..nn import Tensor, inference
 
 __all__ = ["DeterministicHead", "ProbabilisticHead"]
 
@@ -41,6 +41,13 @@ class DeterministicHead(nn.Module):
     def inference_scores(self, features: Tensor) -> Tensor:
         """Scores used for ranking at inference; same as forward here."""
         return self.forward(features)
+
+    def infer_scores(self, features: np.ndarray) -> np.ndarray:
+        """Tape-free twin of :meth:`inference_scores` on raw arrays."""
+        b, length, _ = features.shape
+        return inference.sigmoid_nd(
+            self.score_mlp.infer(features).reshape(b, length)
+        )
 
 
 class ProbabilisticHead(nn.Module):
@@ -82,3 +89,11 @@ class ProbabilisticHead(nn.Module):
         """UCB scores ``sigmoid(mu + sigma)`` (Eq. 10)."""
         mean, std = self._mean_std(features)
         return (mean + std).sigmoid()
+
+    def infer_scores(self, features: np.ndarray) -> np.ndarray:
+        """Tape-free UCB scores on raw arrays (softplus mirrored exactly)."""
+        b, length, _ = features.shape
+        mean = self.mean_mlp.infer(features).reshape(b, length)
+        raw = self.std_mlp.infer(features).reshape(b, length)
+        std = np.log(np.exp(raw) + raw.dtype.type(1.0))
+        return inference.sigmoid_nd(mean + std)

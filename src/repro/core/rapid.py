@@ -26,7 +26,7 @@ import numpy as np
 
 from .. import nn
 from ..data.batching import RerankBatch
-from ..nn import Tensor
+from ..nn import Tensor, inference
 from .diversity import PersonalizedDiversityEstimator
 from .heads import DeterministicHead, ProbabilisticHead
 from .relevance import ListwiseRelevanceEstimator
@@ -101,8 +101,25 @@ class RapidModel(nn.Module):
         """Training-time attraction probabilities ``phi_R`` (B, L)."""
         return self.head(self._fused_features(batch), rng=rng)
 
+    def _infer_features(self, batch: RerankBatch) -> np.ndarray:
+        """Tape-free [H_R, Delta_R] in the inference dtype."""
+        relevance = self.relevance.infer(batch)
+        if self.diversity is None:
+            return relevance
+        diversity = self.diversity.infer(batch)
+        return np.concatenate(
+            [relevance, diversity.astype(relevance.dtype, copy=False)], axis=2
+        )
+
     def inference_scores(self, batch: RerankBatch) -> np.ndarray:
-        """Ranking scores at inference (UCB for the probabilistic head)."""
+        """Ranking scores at inference (UCB for the probabilistic head).
+
+        Dispatches to the tape-free float32 path (``repro.nn.inference``)
+        unless ``REPRO_NN_INFER=0``; scores always come back float64.
+        """
+        if inference.infer_enabled():
+            scores = self.head.infer_scores(self._infer_features(batch))
+            return scores.astype(np.float64, copy=False)
         was_training = self.training
         self.eval()
         try:
@@ -137,14 +154,21 @@ class RapidModel(nn.Module):
             raise RuntimeError(
                 "greedy inference needs the personalized diversity estimator"
             )
-        was_training = self.training
-        self.eval()
-        try:
-            with nn.no_grad():
-                relevance = self.relevance(batch).numpy()
-                theta = self.diversity.preference_distribution(batch).numpy()
-        finally:
-            self.train(was_training)
+        use_infer = inference.infer_enabled()
+        if use_infer:
+            relevance = self.relevance.infer(batch)
+            theta = self.diversity.infer_preference(batch).astype(
+                np.float64, copy=False
+            )
+        else:
+            was_training = self.training
+            self.eval()
+            try:
+                with nn.no_grad():
+                    relevance = self.relevance(batch).numpy()
+                    theta = self.diversity.preference_distribution(batch).numpy()
+            finally:
+                self.train(was_training)
 
         batch_size, length, _ = relevance.shape
         m = self.config.num_topics
@@ -167,9 +191,17 @@ class RapidModel(nn.Module):
                 * prefix_complement[:, None, :]
                 * theta[:, None, :]
             )
-            features = Tensor(np.concatenate([relevance, delta], axis=2))
-            with nn.no_grad():
-                scores = self.head.inference_scores(features).numpy()
+            if use_infer:
+                scores = self.head.infer_scores(
+                    np.concatenate(
+                        [relevance, delta.astype(relevance.dtype, copy=False)],
+                        axis=2,
+                    )
+                )
+            else:
+                features = Tensor(np.concatenate([relevance, delta], axis=2))
+                with nn.no_grad():
+                    scores = self.head.inference_scores(features).numpy()
             scores = np.where(available, scores, -np.inf)
             picks = scores.argmax(axis=1)
             rows = np.flatnonzero(active)

@@ -13,7 +13,7 @@ import numpy as np
 
 from .. import nn
 from ..data.batching import RerankBatch, normalized_initial_scores
-from ..nn import Tensor
+from ..nn import Tensor, inference
 
 __all__ = ["ListwiseRelevanceEstimator"]
 
@@ -64,20 +64,31 @@ class ListwiseRelevanceEstimator(nn.Module):
 
     def forward(self, batch: RerankBatch) -> Tensor:
         """Return (B, L, 2*hidden) listwise relevance representations."""
-        user = np.broadcast_to(
-            batch.user_features[:, None, :],
-            (batch.batch_size, batch.list_length, batch.user_features.shape[-1]),
-        )  # view, not a copy — concatenate below materializes once
-        parts = [
-            user,
-            batch.item_features,
-            batch.coverage,
-        ]
-        if self.use_initial_scores:
-            parts.append(normalized_initial_scores(batch)[:, :, None])
-        items = Tensor(np.concatenate(parts, axis=2))
+        items = Tensor(self._assemble(batch))
         if self.encoder_kind == "bilstm":
             return self.encoder(items, mask=batch.mask)
         positions = np.tile(np.arange(batch.list_length), (batch.batch_size, 1))
         projected = self.input_proj(items) + self.position_table(positions)
         return self.encoder(projected, mask=batch.mask)
+
+    def _assemble(self, batch: RerankBatch) -> np.ndarray:
+        """The per-item embedding matrix ``e_i`` as one raw array."""
+        user = np.broadcast_to(
+            batch.user_features[:, None, :],
+            (batch.batch_size, batch.list_length, batch.user_features.shape[-1]),
+        )
+        parts = [user, batch.item_features, batch.coverage]
+        if self.use_initial_scores:
+            parts.append(normalized_initial_scores(batch)[:, :, None])
+        return np.concatenate(parts, axis=2)
+
+    def infer(self, batch: RerankBatch) -> np.ndarray:
+        """Tape-free forward in the inference dtype; same numerics as forward."""
+        items = self._assemble(batch).astype(inference.infer_dtype(), copy=False)
+        if self.encoder_kind == "bilstm":
+            return self.encoder.infer(items, mask=batch.mask)
+        positions = np.tile(np.arange(batch.list_length), (batch.batch_size, 1))
+        projected = self.input_proj.infer(items) + self.position_table.infer(
+            positions
+        )
+        return self.encoder.infer(projected, mask=batch.mask)

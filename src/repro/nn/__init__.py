@@ -7,7 +7,7 @@ LSTM/GRU/Bi-LSTM, self-attention variants, MLP, LayerNorm, Dropout), losses,
 and optimizers (Adam, SGD).
 """
 
-from . import functional, init, kernels, losses
+from . import functional, inference, init, kernels, losses
 from .layers import (
     MLP,
     BiLSTM,
@@ -59,6 +59,7 @@ __all__ = [
     "as_tensor",
     "clip_grad_norm",
     "functional",
+    "inference",
     "init",
     "is_grad_enabled",
     "kernels",

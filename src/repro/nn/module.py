@@ -12,9 +12,18 @@ from typing import Iterator
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 __all__ = ["Parameter", "Module"]
+
+
+def _unwrap(value):
+    """Recursively strip :class:`Tensor` wrappers to raw ndarrays."""
+    if isinstance(value, Tensor):
+        return value.data
+    if isinstance(value, tuple):
+        return tuple(_unwrap(v) for v in value)
+    return value
 
 
 class Parameter(Tensor):
@@ -47,6 +56,23 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+    def infer(self, *args, **kwargs):
+        """Tape-free inference forward; returns raw ndarray(s).
+
+        Hot layers override this with hand-tuned ndarray implementations
+        (``repro.nn.inference``).  The default falls back to :meth:`forward`
+        under ``no_grad`` — positional ndarray arguments are wrapped as
+        Tensors, keyword arguments (masks, flags) pass through untouched,
+        and Tensor outputs are unwrapped — so every module is servable on
+        the inference path with tape-path-identical float64 numerics even
+        before it grows a fast path.
+        """
+        coerced = tuple(
+            Tensor(a) if isinstance(a, np.ndarray) else a for a in args
+        )
+        with no_grad():
+            return _unwrap(self.forward(*coerced, **kwargs))
 
     # ------------------------------------------------------------------
     # Parameter access

@@ -7,6 +7,16 @@ with the same semantics needed by RAPID and all the baselines: broadcasting
 arithmetic, matrix multiplication, elementwise nonlinearities, reductions,
 indexing, concatenation/stacking, and softmax.
 
+Dispatch is table-driven: every differentiable primitive is an
+:class:`OpDef` — a pure ndarray ``forward`` plus a ``vjp`` (vector-Jacobian
+product) — registered in :data:`OP_TABLE` under its op name.  The
+:class:`Tensor` methods are thin dispatchers through :func:`Tensor._apply`,
+which runs the forward on the raw arrays and only materialises a graph node
+(parents + backward closure) when a tape is active; with gradients disabled
+the result passes straight through with zero autograd bookkeeping.
+Composite ops (``mean``, ``__sub__``, ``sqrt``) stay compositions of
+primitives so their backward rules need no separate entries.
+
 Gradients are accumulated in ``Tensor.grad`` by :meth:`Tensor.backward`,
 which performs a topological sort of the recorded computation graph and runs
 each node's backward closure exactly once.  All backward rules are verified
@@ -21,6 +31,7 @@ or slowed down unless the profiler is turned on.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -31,13 +42,24 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "register_custom_op",
+    "OpDef",
+    "OP_TABLE",
+    "register_op",
     "PROFILED_OPS",
     "op_function",
     "install_op_wrappers",
     "restore_ops",
 ]
 
-_GRAD_ENABLED = True
+
+class _GradState(threading.local):
+    """Per-thread autograd switch (fresh ``enabled=True`` in every thread)."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_state = _GradState()
 
 # The op-dispatch surface of the autograd engine: one entry per method that
 # records a graph node.  ``repro.obs.autograd.enable_op_profiler`` hooks
@@ -76,22 +98,31 @@ PROFILED_OPS: tuple[str, ...] = (
 
 
 class no_grad:
-    """Context manager that disables graph construction (like torch.no_grad)."""
+    """Context manager that disables graph construction (like torch.no_grad).
+
+    Reentrant and nesting-safe: each ``__enter__`` pushes the prior state
+    onto a per-instance stack, so a single instance can be entered
+    recursively (or shared across nested ``with`` blocks) and each exit
+    restores exactly what its matching entry saw.  The underlying flag is
+    thread-local — disabling gradients on one thread never leaks into
+    concurrently-running forwards on another.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[bool] = []
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._stack.append(_grad_state.enabled)
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, *exc_info) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _grad_state.enabled = self._stack.pop()
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are recorded in the autograd graph."""
-    return _GRAD_ENABLED
+    return _grad_state.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -107,6 +138,45 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+class OpDef:
+    """A differentiable primitive: pure ndarray forward + vector-Jacobian product.
+
+    ``forward(params, *arrays) -> (out_data, residual)`` computes the op on
+    raw ndarrays; ``residual`` is whatever intermediate the backward pass
+    wants saved (or ``None``).  ``vjp(grad, out_data, residual, params,
+    arrays) -> grads`` returns one gradient array per input (``None`` for
+    inputs with no gradient).  Neither side ever sees a :class:`Tensor` —
+    the table is the backend-independent contract the dispatcher, the
+    differential oracle, and the inference path all share.
+    """
+
+    __slots__ = ("name", "forward", "vjp")
+
+    def __init__(
+        self,
+        name: str,
+        forward: Callable,
+        vjp: Callable,
+    ) -> None:
+        self.name = name
+        self.forward = forward
+        self.vjp = vjp
+
+    def __repr__(self) -> str:
+        return f"OpDef({self.name!r})"
+
+
+#: Central name -> (forward, vjp) registry for every autograd primitive.
+OP_TABLE: dict[str, OpDef] = {}
+
+
+def register_op(name: str, forward: Callable, vjp: Callable) -> OpDef:
+    """Register a primitive in :data:`OP_TABLE` (returns the :class:`OpDef`)."""
+    opdef = OpDef(name, forward, vjp)
+    OP_TABLE[name] = opdef
+    return opdef
 
 
 class Tensor:
@@ -128,7 +198,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_state.enabled
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple["Tensor", ...] = ()
 
@@ -175,9 +245,37 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _grad_state.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def _apply(name: str, inputs: tuple["Tensor", ...], params: tuple = ()) -> "Tensor":
+        """Dispatch ``name`` through :data:`OP_TABLE`.
+
+        Runs the table forward on the raw input arrays; when a tape is
+        active (gradients enabled and some input requires them) the result
+        becomes a graph node whose backward closure replays the table's
+        ``vjp``, otherwise the output passes straight through with no
+        parents, no closure, and no residual retention.
+        """
+        opdef = OP_TABLE[name]
+        arrays = tuple(t.data for t in inputs)
+        out_data, residual = opdef.forward(params, *arrays)
+        out = Tensor(out_data)
+        if _grad_state.enabled and any(t.requires_grad for t in inputs):
+            vjp = opdef.vjp
+
+            def backward(grad: np.ndarray) -> None:
+                grads = vjp(grad, out_data, residual, params, arrays)
+                for tensor, g in zip(inputs, grads):
+                    if g is not None:
+                        tensor._accumulate(g)
+
+            out.requires_grad = True
+            out._parents = inputs
             out._backward = backward
         return out
 
@@ -244,25 +342,15 @@ class Tensor:
         return Tensor(self.data)
 
     # ------------------------------------------------------------------
-    # Arithmetic
+    # Arithmetic (thin dispatchers into OP_TABLE)
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(grad, other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._apply("add", (self, as_tensor(other)))
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
-
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._apply("neg", (self,))
 
     def __sub__(self, other) -> "Tensor":
         return self + (-as_tensor(other))
@@ -271,28 +359,12 @@ class Tensor:
         return as_tensor(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._apply("mul", (self, as_tensor(other)))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
-            )
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._apply("div", (self, as_tensor(other)))
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other) / self
@@ -300,130 +372,43 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data**exponent
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("pow", (self,), (exponent,))
 
     def __matmul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data @ other.data
-
-        def backward(grad: np.ndarray) -> None:
-            a, b = self.data, other.data
-            if a.ndim == 1 and b.ndim == 1:
-                self._accumulate(grad * b)
-                other._accumulate(grad * a)
-                return
-            if a.ndim == 1:  # (k,) @ (..., k, n) -> (..., n)
-                ga = (grad[..., None, :] * b).sum(axis=-1)
-                self._accumulate(_unbroadcast(ga, a.shape))
-                gb = a[:, None] * grad[..., None, :]
-                other._accumulate(_unbroadcast(gb, b.shape))
-                return
-            if b.ndim == 1:  # (..., m, k) @ (k,) -> (..., m)
-                ga = grad[..., :, None] * b
-                self._accumulate(_unbroadcast(ga, a.shape))
-                gb = (grad[..., :, None] * a).sum(axis=tuple(range(a.ndim - 1)))
-                other._accumulate(_unbroadcast(gb, b.shape))
-                return
-            ga = grad @ np.swapaxes(b, -1, -2)
-            gb = np.swapaxes(a, -1, -2) @ grad
-            self._accumulate(_unbroadcast(ga, a.shape))
-            other._accumulate(_unbroadcast(gb, b.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._apply("matmul", (self, as_tensor(other)))
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("exp", (self,))
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("log", (self,))
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data**2))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("tanh", (self,))
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic: exp(-|x|) never overflows, and the
-        # single exp + blend is ~3x cheaper than evaluating both branches.
-        decay = np.abs(self.data)
-        np.negative(decay, out=decay)
-        np.exp(decay, out=decay)
-        out_data = np.where(self.data >= 0, 1.0, decay)
-        np.add(decay, 1.0, out=decay)
-        np.divide(out_data, decay, out=out_data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("sigmoid", (self,))
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("relu", (self,))
 
     def sqrt(self) -> "Tensor":
         return self**0.5
 
     def clip(self, low: float, high: float) -> "Tensor":
-        out_data = np.clip(self.data, low, high)
-        mask = (self.data >= low) & (self.data <= high)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("clip", (self,), (low, high))
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out_data = np.abs(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * sign)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("abs", (self,))
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            g = np.asarray(grad)
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                axes = tuple(a % self.data.ndim for a in axes)
-                for a in sorted(axes):
-                    g = np.expand_dims(g, a)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("sum", (self,), (axis, keepdims))
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -434,21 +419,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            g = np.asarray(grad)
-            full = self.data.max(axis=axis, keepdims=True)
-            mask = self.data == full
-            mask = mask / mask.sum(axis=axis, keepdims=True)
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                axes = tuple(a % self.data.ndim for a in axes)
-                for a in sorted(axes):
-                    g = np.expand_dims(g, a)
-            self._accumulate(mask * g)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("max", (self,), (axis, keepdims))
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -456,25 +427,14 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(self.shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("reshape", (self,), (shape,))
 
     def transpose(self, *axes) -> "Tensor":
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        out_data = self.data.transpose(axes)
-        inverse = np.argsort(axes)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.transpose(inverse))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("transpose", (self,), (axes,))
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -482,87 +442,349 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def __getitem__(self, key) -> "Tensor":
-        out_data = self.data[key]
-        basic = _is_basic_index(key)
-
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            if basic:
-                # Basic indexing selects each element at most once, so the
-                # scatter is a plain (much faster) sliced assignment.
-                full[key] = grad
-            else:
-                np.add.at(full, key, grad)
-            self._accumulate(full)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("getitem", (self,), (key,))
 
     # ------------------------------------------------------------------
     # Combination
     # ------------------------------------------------------------------
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = [as_tensor(t) for t in tensors]
-        out_data = np.concatenate([t.data for t in tensors], axis=axis)
-        sizes = [t.data.shape[axis] for t in tensors]
-        offsets = np.cumsum([0] + sizes)
-
-        def backward(grad: np.ndarray) -> None:
-            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-                index = [slice(None)] * grad.ndim
-                index[axis] = slice(start, stop)
-                tensor._accumulate(grad[tuple(index)])
-
-        return Tensor._make(out_data, tensors, backward)
+        tensors = tuple(as_tensor(t) for t in tensors)
+        return Tensor._apply("concatenate", tensors, (axis,))
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = [as_tensor(t) for t in tensors]
-        out_data = np.stack([t.data for t in tensors], axis=axis)
-
-        def backward(grad: np.ndarray) -> None:
-            pieces = np.moveaxis(grad, axis, 0)
-            for tensor, piece in zip(tensors, pieces):
-                tensor._accumulate(piece)
-
-        return Tensor._make(out_data, tensors, backward)
+        tensors = tuple(as_tensor(t) for t in tensors)
+        return Tensor._apply("stack", tensors, (axis,))
 
     @staticmethod
     def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
-        a, b = as_tensor(a), as_tensor(b)
         cond = np.asarray(condition, dtype=bool)
-        out_data = np.where(cond, a.data, b.data)
-
-        def backward(grad: np.ndarray) -> None:
-            a._accumulate(_unbroadcast(grad * cond, a.shape))
-            b._accumulate(_unbroadcast(grad * (~cond), b.shape))
-
-        return Tensor._make(out_data, (a, b), backward)
+        return Tensor._apply("where", (as_tensor(a), as_tensor(b)), (cond,))
 
     # ------------------------------------------------------------------
     # Softmax (fused for numerical stability)
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
-        out_data = exp / exp.sum(axis=axis, keepdims=True)
-
-        def backward(grad: np.ndarray) -> None:
-            dot = (grad * out_data).sum(axis=axis, keepdims=True)
-            self._accumulate(out_data * (grad - dot))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._apply("softmax", (self,), (axis,))
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        out_data = shifted - log_z
-        softmax = np.exp(out_data)
+        return Tensor._apply("log_softmax", (self,), (axis,))
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
-        return Tensor._make(out_data, (self,), backward)
+# ----------------------------------------------------------------------
+# Primitive forward / vjp definitions
+# ----------------------------------------------------------------------
+def _expand_reduced(grad: np.ndarray, axis, keepdims: bool, ndim: int) -> np.ndarray:
+    """Re-insert axes removed by a non-keepdims reduction."""
+    g = np.asarray(grad)
+    if axis is not None and not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(a % ndim for a in axes)
+        for a in sorted(axes):
+            g = np.expand_dims(g, a)
+    return g
+
+
+def _add_forward(params, a, b):
+    return a + b, None
+
+
+def _add_vjp(grad, out, res, params, arrays):
+    a, b = arrays
+    return _unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape)
+
+
+def _neg_forward(params, a):
+    return -a, None
+
+
+def _neg_vjp(grad, out, res, params, arrays):
+    return (-grad,)
+
+
+def _mul_forward(params, a, b):
+    return a * b, None
+
+
+def _mul_vjp(grad, out, res, params, arrays):
+    a, b = arrays
+    return (
+        _unbroadcast(grad * b, a.shape),
+        _unbroadcast(grad * a, b.shape),
+    )
+
+
+def _div_forward(params, a, b):
+    return a / b, None
+
+
+def _div_vjp(grad, out, res, params, arrays):
+    a, b = arrays
+    return (
+        _unbroadcast(grad / b, a.shape),
+        _unbroadcast(-grad * a / (b**2), b.shape),
+    )
+
+
+def _pow_forward(params, a):
+    (exponent,) = params
+    return a**exponent, None
+
+
+def _pow_vjp(grad, out, res, params, arrays):
+    (exponent,) = params
+    (a,) = arrays
+    return (grad * exponent * a ** (exponent - 1),)
+
+
+def _matmul_forward(params, a, b):
+    return a @ b, None
+
+
+def _matmul_vjp(grad, out, res, params, arrays):
+    a, b = arrays
+    if a.ndim == 1 and b.ndim == 1:
+        return grad * b, grad * a
+    if a.ndim == 1:  # (k,) @ (..., k, n) -> (..., n)
+        ga = (grad[..., None, :] * b).sum(axis=-1)
+        gb = a[:, None] * grad[..., None, :]
+        return _unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape)
+    if b.ndim == 1:  # (..., m, k) @ (k,) -> (..., m)
+        ga = grad[..., :, None] * b
+        gb = (grad[..., :, None] * a).sum(axis=tuple(range(a.ndim - 1)))
+        return _unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape)
+    ga = grad @ np.swapaxes(b, -1, -2)
+    gb = np.swapaxes(a, -1, -2) @ grad
+    return _unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape)
+
+
+def _exp_forward(params, a):
+    out = np.exp(a)
+    return out, None
+
+
+def _exp_vjp(grad, out, res, params, arrays):
+    return (grad * out,)
+
+
+def _log_forward(params, a):
+    return np.log(a), None
+
+
+def _log_vjp(grad, out, res, params, arrays):
+    (a,) = arrays
+    return (grad / a,)
+
+
+def _tanh_forward(params, a):
+    return np.tanh(a), None
+
+
+def _tanh_vjp(grad, out, res, params, arrays):
+    return (grad * (1.0 - out**2),)
+
+
+def _sigmoid_forward(params, a):
+    # Numerically stable logistic: exp(-|x|) never overflows, and the
+    # single exp + blend is ~3x cheaper than evaluating both branches.
+    decay = np.abs(a)
+    np.negative(decay, out=decay)
+    np.exp(decay, out=decay)
+    out = np.where(a >= 0, 1.0, decay)
+    np.add(decay, 1.0, out=decay)
+    np.divide(out, decay, out=out)
+    return out, None
+
+
+def _sigmoid_vjp(grad, out, res, params, arrays):
+    return (grad * out * (1.0 - out),)
+
+
+def _relu_forward(params, a):
+    mask = a > 0
+    return a * mask, mask
+
+
+def _relu_vjp(grad, out, res, params, arrays):
+    return (grad * res,)
+
+
+def _clip_forward(params, a):
+    low, high = params
+    return np.clip(a, low, high), None
+
+
+def _clip_vjp(grad, out, res, params, arrays):
+    low, high = params
+    (a,) = arrays
+    mask = (a >= low) & (a <= high)
+    return (grad * mask,)
+
+
+def _abs_forward(params, a):
+    return np.abs(a), None
+
+
+def _abs_vjp(grad, out, res, params, arrays):
+    (a,) = arrays
+    return (grad * np.sign(a),)
+
+
+def _sum_forward(params, a):
+    axis, keepdims = params
+    return a.sum(axis=axis, keepdims=keepdims), None
+
+
+def _sum_vjp(grad, out, res, params, arrays):
+    axis, keepdims = params
+    (a,) = arrays
+    g = _expand_reduced(grad, axis, keepdims, a.ndim)
+    return (np.broadcast_to(g, a.shape).copy(),)
+
+
+def _max_forward(params, a):
+    axis, keepdims = params
+    return a.max(axis=axis, keepdims=keepdims), None
+
+
+def _max_vjp(grad, out, res, params, arrays):
+    axis, keepdims = params
+    (a,) = arrays
+    full = a.max(axis=axis, keepdims=True)
+    mask = a == full
+    mask = mask / mask.sum(axis=axis, keepdims=True)
+    g = _expand_reduced(grad, axis, keepdims, a.ndim)
+    return (mask * g,)
+
+
+def _reshape_forward(params, a):
+    (shape,) = params
+    return a.reshape(shape), None
+
+
+def _reshape_vjp(grad, out, res, params, arrays):
+    (a,) = arrays
+    return (grad.reshape(a.shape),)
+
+
+def _transpose_forward(params, a):
+    (axes,) = params
+    return a.transpose(axes), None
+
+
+def _transpose_vjp(grad, out, res, params, arrays):
+    (axes,) = params
+    return (grad.transpose(np.argsort(axes)),)
+
+
+def _getitem_forward(params, a):
+    (key,) = params
+    return a[key], None
+
+
+def _getitem_vjp(grad, out, res, params, arrays):
+    (key,) = params
+    (a,) = arrays
+    full = np.zeros_like(a)
+    if _is_basic_index(key):
+        # Basic indexing selects each element at most once, so the
+        # scatter is a plain (much faster) sliced assignment.
+        full[key] = grad
+    else:
+        np.add.at(full, key, grad)
+    return (full,)
+
+
+def _concatenate_forward(params, *arrays):
+    (axis,) = params
+    return np.concatenate(arrays, axis=axis), None
+
+
+def _concatenate_vjp(grad, out, res, params, arrays):
+    (axis,) = params
+    offsets = np.cumsum([0] + [a.shape[axis] for a in arrays])
+    grads = []
+    for start, stop in zip(offsets[:-1], offsets[1:]):
+        index = [slice(None)] * grad.ndim
+        index[axis] = slice(start, stop)
+        grads.append(grad[tuple(index)])
+    return grads
+
+
+def _stack_forward(params, *arrays):
+    (axis,) = params
+    return np.stack(arrays, axis=axis), None
+
+
+def _stack_vjp(grad, out, res, params, arrays):
+    (axis,) = params
+    return list(np.moveaxis(grad, axis, 0))
+
+
+def _where_forward(params, a, b):
+    (cond,) = params
+    return np.where(cond, a, b), None
+
+
+def _where_vjp(grad, out, res, params, arrays):
+    (cond,) = params
+    a, b = arrays
+    return (
+        _unbroadcast(grad * cond, a.shape),
+        _unbroadcast(grad * (~cond), b.shape),
+    )
+
+
+def _softmax_forward(params, a):
+    (axis,) = params
+    shifted = a - a.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True), None
+
+
+def _softmax_vjp(grad, out, res, params, arrays):
+    (axis,) = params
+    dot = (grad * out).sum(axis=axis, keepdims=True)
+    return (out * (grad - dot),)
+
+
+def _log_softmax_forward(params, a):
+    (axis,) = params
+    shifted = a - a.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return shifted - log_z, None
+
+
+def _log_softmax_vjp(grad, out, res, params, arrays):
+    (axis,) = params
+    softmax = np.exp(out)
+    return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
+
+
+register_op("add", _add_forward, _add_vjp)
+register_op("neg", _neg_forward, _neg_vjp)
+register_op("mul", _mul_forward, _mul_vjp)
+register_op("div", _div_forward, _div_vjp)
+register_op("pow", _pow_forward, _pow_vjp)
+register_op("matmul", _matmul_forward, _matmul_vjp)
+register_op("exp", _exp_forward, _exp_vjp)
+register_op("log", _log_forward, _log_vjp)
+register_op("tanh", _tanh_forward, _tanh_vjp)
+register_op("sigmoid", _sigmoid_forward, _sigmoid_vjp)
+register_op("relu", _relu_forward, _relu_vjp)
+register_op("clip", _clip_forward, _clip_vjp)
+register_op("abs", _abs_forward, _abs_vjp)
+register_op("sum", _sum_forward, _sum_vjp)
+register_op("max", _max_forward, _max_vjp)
+register_op("reshape", _reshape_forward, _reshape_vjp)
+register_op("transpose", _transpose_forward, _transpose_vjp)
+register_op("getitem", _getitem_forward, _getitem_vjp)
+register_op("concatenate", _concatenate_forward, _concatenate_vjp)
+register_op("stack", _stack_forward, _stack_vjp)
+register_op("where", _where_forward, _where_vjp)
+register_op("softmax", _softmax_forward, _softmax_vjp)
+register_op("log_softmax", _log_softmax_forward, _log_softmax_vjp)
 
 
 def _is_basic_index(key) -> bool:

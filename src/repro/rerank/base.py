@@ -19,6 +19,7 @@ import numpy as np
 
 from ..data.batching import RerankBatch
 from ..data.schema import Catalog, Population, RankingRequest
+from ..nn import inference as _nn_inference
 from ..obs import get_registry
 from ..obs import windows as _windows
 
@@ -73,6 +74,10 @@ def _timed_rerank(fn):
                 get_registry().histogram(
                     "rerank.latency_ms", reranker=name
                 ).observe(elapsed_ms)
+                mode = "infer" if _nn_inference.infer_enabled() else "tape"
+                get_registry().counter(
+                    "rerank.dispatch", mode=mode, reranker=name
+                ).inc()
                 # Windowed twin (recent p50/p95/p99) + request-rate meter;
                 # both no-ops unless windowed metrics are enabled.
                 _windows.observe("rerank.latency_ms", elapsed_ms, reranker=name)

@@ -153,6 +153,12 @@ class NeuralReranker(Reranker):
         was_training = self.network.training
         self.network.eval()
         try:
+            if nn.inference.infer_enabled():
+                # Tape-free dispatch.  Baselines without a hand-written
+                # ndarray path fall back to Module.infer (forward under
+                # no_grad, float64) — bitwise identical scores, no tape.
+                scores = self.network.infer(batch)
+                return np.asarray(scores, dtype=np.float64)
             with nn.no_grad():
                 scores = self._score_tensor(batch)
         finally:

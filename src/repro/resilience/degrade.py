@@ -214,6 +214,20 @@ class ResilientReranker(Reranker):
     def score_batch(self, batch) -> np.ndarray:
         return self.primary.score_batch(batch)
 
+    def warmup(self, batch) -> None:
+        """Pre-build the tape-free path's weight caches (best effort).
+
+        The inference path (``repro.nn.inference``) casts — and for the
+        recurrent cells gate-reorders — each stage's weights on first use.
+        Running one throwaway rerank per stage here keeps that one-time
+        cost out of the first deadline-bounded request.
+        """
+        for stage in [self.primary, *self.fallbacks]:
+            try:
+                stage.rerank(batch)
+            except Exception:  # noqa: BLE001 - warmup must never fail serving
+                continue
+
     # ------------------------------------------------------------------
     # Serving path
     # ------------------------------------------------------------------

@@ -7,8 +7,9 @@ vocabulary (elementwise math, broadcasting, slicing, gather, reductions,
 shape ops, concatenation/stacking, ``where``, and the fused recurrent
 kernels registered via ``register_custom_op``) and checks every program
 with the differential oracle: fused vs composed dispatch forward + backward
-agreement, plus central finite differences as an implementation-independent
-gradient oracle.
+agreement, central finite differences as an implementation-independent
+gradient oracle, and bitwise tape-vs-no-tape forward equality (the op
+table's straight-through dispatch must not change a single computed value).
 
 Everything is derived from integer seeds, so a failure is a *value*: the
 :class:`Program` that reproduces it.  :func:`shrink` then greedily deletes
@@ -479,7 +480,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
         print(failure.format())
     if not failures:
-        print(f"OK: {count} random programs agree across fused/composed/fd")
+        print(
+            f"OK: {count} random programs agree across "
+            "fused/composed/fd/no-tape"
+        )
     return 1 if failures else 0
 
 

@@ -30,12 +30,15 @@ __all__ = [
     "DiffReport",
     "DivergenceError",
     "max_ulp_diff",
+    "max_ulp_diff_in_dtype",
     "compare_arrays",
     "finite_difference_grad",
     "differential_check",
     "assert_equivalent",
     "check_kernel",
     "check_all_kernels",
+    "check_infer_kernel",
+    "check_all_infer_kernels",
 ]
 
 
@@ -83,6 +86,51 @@ def max_ulp_diff(a: np.ndarray, b: np.ndarray) -> float:
         np.abs(order_a - order_b).astype(np.float64),
         np.abs(order_a.astype(np.float64)) + np.abs(order_b.astype(np.float64)),
     )
+    return float(diff.max())
+
+
+def max_ulp_diff_in_dtype(
+    a: np.ndarray, b: np.ndarray, dtype=np.float32, zero_atol: float = 0.0
+) -> float:
+    """ULP distance measured in ``dtype`` (both arrays are cast first).
+
+    The inference path computes in float32, so "how many representable
+    floats apart" is only meaningful on the float32 grid — measuring the
+    float64 distance of a float32 result against a float64 reference would
+    count the cast itself as millions of ULPs.
+
+    ``zero_atol`` is the near-zero escape: positions whose *absolute*
+    difference is within it are treated as equal.  ULP spacing shrinks
+    with magnitude, so an output that cancels toward zero (a centered
+    value, a dot product, a recurrent blend crossing sign) can be
+    thousands of ULPs from the reference while being ~1e-7 in absolute
+    terms; those positions are the atol row's job, not this one's.  A
+    structural bug (wrong gate order, dropped mask) produces O(1)
+    absolute differences and still registers as astronomical.
+    """
+    dtype = np.dtype(dtype)
+    if dtype == np.dtype(np.float64) and zero_atol == 0.0:
+        return max_ulp_diff(a, b)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported dtype {dtype}")
+    a = np.ascontiguousarray(np.asarray(a, dtype=dtype))
+    b = np.ascontiguousarray(np.asarray(b, dtype=dtype))
+    if a.shape != b.shape:
+        return float("inf")
+    int_t = np.int32 if dtype == np.dtype(np.float32) else np.int64
+    if not (np.isfinite(a).all() and np.isfinite(b).all()):
+        same = np.array_equal(a.view(int_t), b.view(int_t))
+        return 0.0 if same else float("inf")
+    if a.size == 0:
+        return 0.0
+    sign_mask = int_t(0x7FFFFFFF if int_t is np.int32 else 0x7FFFFFFFFFFFFFFF)
+    bits_a = a.view(int_t)
+    bits_b = b.view(int_t)
+    order_a = np.where(bits_a < 0, bits_a ^ sign_mask, bits_a).astype(np.float64)
+    order_b = np.where(bits_b < 0, bits_b ^ sign_mask, bits_b).astype(np.float64)
+    diff = np.abs(order_a - order_b)
+    if zero_atol > 0.0:
+        diff[np.abs(a.astype(np.float64) - b.astype(np.float64)) <= zero_atol] = 0.0
     return float(diff.max())
 
 
@@ -232,12 +280,13 @@ def differential_check(
     fd_eps: float = 1e-6,
     fd_rtol: float = 1e-3,
     fd_atol: float = 1e-5,
+    notape: bool = True,
 ) -> DiffReport:
     """Run ``fn`` under fused and composed dispatch plus a finite-difference oracle.
 
     ``fn`` receives one ``Tensor`` per entry of ``arrays`` and returns a
     tensor (or tuple of tensors); the objective compared is the sum of all
-    outputs.  Three comparisons feed the report:
+    outputs.  Four comparisons feed the report:
 
     - ``forward[...]`` — fused vs composed output values.  The default
       zero tolerances assert *bitwise* equality, which the fused kernels
@@ -246,7 +295,11 @@ def differential_check(
       (tight, but not bitwise: backward summation order differs);
     - ``grad[...] fused-vs-fd`` — fused-path gradients against central
       finite differences, an oracle independent of both graph
-      implementations (loose: FD truncation error).
+      implementations (loose: FD truncation error);
+    - ``forward[...] tape-vs-notape`` — the taped forward against the same
+      forward under ``no_grad`` (the op table's straight-through dispatch).
+      Always bitwise: skipping graph construction must not change a single
+      computed value.
     """
     input_names = list(input_names) if input_names is not None else [
         f"x{i}" for i in range(len(arrays))
@@ -257,6 +310,15 @@ def differential_check(
     for i, (a, b) in enumerate(zip(fused_out, composed_out)):
         label = "forward" if len(fused_out) == 1 else f"forward[{i}]"
         report.rows.append(compare_arrays(label, a, b, forward_rtol, forward_atol))
+    if notape:
+        notape_out, _ = _run_forward_only(fn, arrays)
+        for i, (a, b) in enumerate(zip(fused_out, notape_out)):
+            label = (
+                "forward tape-vs-notape"
+                if len(fused_out) == 1
+                else f"forward[{i}] tape-vs-notape"
+            )
+            report.rows.append(compare_arrays(label, a, b, 0.0, 0.0))
     for label, a, b in zip(input_names, fused_grads, composed_grads):
         report.rows.append(
             compare_arrays(f"grad[{label}] fused-vs-composed", a, b,
@@ -332,3 +394,106 @@ def check_all_kernels(seed: int = 0, **tolerances) -> dict[str, DiffReport]:
         name: check_kernel(name, seed=seed, **tolerances)
         for name in sorted(ORACLE_CASES)
     }
+
+
+def check_infer_kernel(
+    name: str,
+    seed: int = 0,
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+    ulp_budget: float = 256.0,
+) -> DiffReport:
+    """Replay one inference-twin case against the float64 tape reference.
+
+    Cases are registered in ``repro.nn.inference.INFER_CASES`` next to the
+    kernels themselves.  Two rows per case:
+
+    - ``infer-vs-tape`` — the fast-path output (cast back to float64)
+      against the tape reference under explicit rtol/atol budgets.  The
+      defaults assume float32: ~100x float32 eps of headroom at O(1)
+      magnitudes;
+    - ``infer-vs-tape (ulp)`` — ULP distance on the inference-dtype grid
+      (:func:`max_ulp_diff_in_dtype`), applied only where the absolute
+      difference exceeds a few dtype eps.  ULP spacing shrinks with
+      magnitude, so outputs that cancel toward zero (dot products,
+      centered values, recurrent blends crossing sign) land thousands of
+      ULPs out while being ~1e-7 absolute; the near-zero escape hands
+      those positions to the atol row and keeps this row's budget tight
+      enough that a structural bug — wrong gate order, dropped mask,
+      which produce O(1) absolute differences — cannot hide.
+    """
+    from ..nn import inference
+
+    if name not in inference.INFER_CASES:
+        raise KeyError(
+            f"no inference-twin case registered for {name!r}; "
+            f"known: {sorted(inference.INFER_CASES)}"
+        )
+    build = inference.INFER_CASES[name]
+    reference_fn, infer_fn, arrays, _ = build(np.random.default_rng(seed))
+    dtype = inference.infer_dtype()
+    reference = reference_fn(
+        *[np.array(a, dtype=np.float64, copy=True) for a in arrays]
+    )
+    fast = infer_fn(*[np.asarray(a).astype(dtype) for a in arrays])
+    report = DiffReport(f"{name} (dispatch=infer, {dtype})")
+    report.rows.append(
+        compare_arrays("infer-vs-tape", np.asarray(fast, dtype=np.float64),
+                       np.asarray(reference), rtol, atol)
+    )
+    # Escape floor below the magnitude row's own atol: any position it
+    # excuses is already bounded tighter by the rtol/atol row above.
+    zero_atol = float(16 * np.finfo(dtype).eps)
+    ulp = max_ulp_diff_in_dtype(reference, fast, dtype, zero_atol=zero_atol)
+    report.rows.append(
+        DiffRow(
+            "infer-vs-tape (ulp)",
+            np.asarray(reference).shape,
+            0.0,
+            0.0,
+            ulp,
+            0.0,
+            ulp_budget,  # atol column doubles as the ULP budget here
+            ulp <= ulp_budget,
+        )
+    )
+    return report
+
+
+# Per-kernel ULP budgets (over the near-zero escape in
+# :func:`check_infer_kernel`).  The default covers honest float32
+# rounding through a handful of dependent operations; the recurrent
+# scans accumulate rounding across every timestep *and* feed each step's
+# rounded hidden state back into the next, so their drift compounds —
+# still orders of magnitude below the millions of ULPs a structural bug
+# produces.
+INFER_ULP_DEFAULT_BUDGET = 256.0
+INFER_ULP_BUDGETS: dict[str, float] = {
+    "lstm_scan_fused": 4096.0,
+    "gru_scan_fused": 4096.0,
+}
+
+
+def check_all_infer_kernels(seed: int = 0, **budgets) -> dict[str, DiffReport]:
+    """Replay every inference-twin case; returns reports by name.
+
+    Also asserts coverage: every fused kernel in ``ORACLE_CASES`` must have
+    an inference twin, so adding a fused kernel without one fails loudly.
+    """
+    from ..nn import inference
+    from ..nn.kernels import ORACLE_CASES
+
+    missing = sorted(set(ORACLE_CASES) - set(inference.INFER_CASES))
+    if missing:
+        raise KeyError(
+            f"fused kernels without an inference-twin case: {missing}; "
+            "register one with repro.nn.inference.register_infer_case"
+        )
+    reports = {}
+    for name in sorted(inference.INFER_CASES):
+        kwargs = dict(budgets)
+        kwargs.setdefault(
+            "ulp_budget", INFER_ULP_BUDGETS.get(name, INFER_ULP_DEFAULT_BUDGET)
+        )
+        reports[name] = check_infer_kernel(name, seed=seed, **kwargs)
+    return reports

@@ -15,6 +15,7 @@ import pytest
 
 from repro.data import build_batch
 from repro.eval import make_reranker
+from repro.nn import inference
 
 # Every model of the paper's comparison table with reproducible output:
 # the 11 baseline re-rankers plus the full RAPID model.
@@ -70,21 +71,61 @@ def fitted_reranker(tiny_bundle):
 @pytest.mark.parametrize("name", MODELS)
 def test_reranker_matches_golden_slate(name, fitted_reranker, golden_batch,
                                        golden_store):
+    # The snapshots pin the float64 tape path: this is the REPRO_NN_INFER=0
+    # bit-identity contract.  Fast-path parity against the tape path is
+    # asserted separately (test_inference_matches_tape_slate below and
+    # tests/test_nn_inference.py).
     reranker = fitted_reranker(name)
-    perm = reranker.rerank(golden_batch)
-    # In-process stability: inference must be deterministic before a
-    # cross-run snapshot can mean anything.
-    perm_again = reranker.rerank(golden_batch)
-    assert (perm == perm_again).all(), f"{name} rerank is nondeterministic"
+    with inference.use_infer(False):
+        perm = reranker.rerank(golden_batch)
+        # In-process stability: inference must be deterministic before a
+        # cross-run snapshot can mean anything.
+        perm_again = reranker.rerank(golden_batch)
+        assert (perm == perm_again).all(), f"{name} rerank is nondeterministic"
 
-    payload = {"permutations": perm}
-    try:
-        scores = np.asarray(reranker.score_batch(golden_batch), dtype=np.float64)
-    except NotImplementedError:
-        pass  # slate-construction models (MMR/DPP/SSD/...) have no scores
-    else:
-        payload["scores"] = scores
+        payload = {"permutations": perm}
+        try:
+            scores = np.asarray(
+                reranker.score_batch(golden_batch), dtype=np.float64
+            )
+        except NotImplementedError:
+            pass  # slate-construction models (MMR/DPP/SSD/...) have no scores
+        else:
+            payload["scores"] = scores
     golden_store.check(f"reranker_{name}", payload)
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_inference_matches_tape_slate(name, fitted_reranker, golden_batch):
+    """The tape-free path must pick the exact same item ids as the tape.
+
+    Baselines without a hand-written ndarray path run Module.infer (float64,
+    bitwise identical); RAPID runs float32 end-to-end, so its scores may
+    drift within float32 epsilon but the resulting slate must not.
+    """
+    reranker = fitted_reranker(name)
+    with inference.use_infer(False):
+        tape_perm = reranker.rerank(golden_batch)
+    with inference.use_infer(True):
+        fast_perm = reranker.rerank(golden_batch)
+    assert (tape_perm == fast_perm).all(), (
+        f"{name}: inference-path slate differs from tape-path slate"
+    )
+    try:
+        with inference.use_infer(False):
+            tape_scores = np.asarray(
+                reranker.score_batch(golden_batch), dtype=np.float64
+            )
+        with inference.use_infer(True):
+            fast_scores = np.asarray(
+                reranker.score_batch(golden_batch), dtype=np.float64
+            )
+    except NotImplementedError:
+        return
+    assert fast_scores.dtype == np.float64
+    # Scores live in (0, 1) (sigmoid outputs) or modest logit ranges; a
+    # 1e-5 absolute budget is ~100x float32 eps headroom at these scales.
+    np.testing.assert_allclose(fast_scores, tape_scores, rtol=0, atol=1e-5)
 
 
 def test_every_model_in_comparison_is_snapshotted(golden_store):

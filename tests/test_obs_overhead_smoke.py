@@ -59,14 +59,19 @@ def test_measure_reports_structure_and_restores_state(bench, monkeypatch, tmp_pa
         "rerank_baseline_ms_per_request",
         "rerank_disabled_ms_per_request",
         "rerank_disabled_overhead_fraction",
+        "infer_baseline_ms_per_request",
+        "infer_disabled_ms_per_request",
+        "infer_disabled_overhead_fraction",
         "rerank_windowed_ms_per_request",
         "windowed_enabled_overhead_fraction",
         "disabled_call_us",
     }
     assert result["train_baseline_ms_per_batch"] > 0.0
     assert result["rerank_baseline_ms_per_request"] > 0.0
+    assert result["infer_baseline_ms_per_request"] > 0.0
     assert np.isfinite(result["train_disabled_overhead_fraction"])
     assert np.isfinite(result["rerank_disabled_overhead_fraction"])
+    assert np.isfinite(result["infer_disabled_overhead_fraction"])
     # The bench must leave every opt-in surface off for the rest of the suite.
     assert not windows.windowed_enabled()
 
