@@ -18,6 +18,9 @@ Public API highlights
 - :mod:`repro.resilience` — chaos fault injection, durable
   checkpoint/resume for training, retry with backoff for data I/O, and
   the graceful-degradation ``ResilientReranker`` serving wrapper.
+- :mod:`repro.serve` — the online layer: batched multi-tenant rerank
+  service with request coalescing, slate cache with TTL + invalidation,
+  admission control, and a closed-loop Zipfian load generator.
 """
 
 __version__ = "1.0.0"

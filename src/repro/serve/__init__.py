@@ -1,0 +1,55 @@
+"""Online serving layer: batched multi-tenant re-ranking behind a cache.
+
+The deployed systems RAPID competes with (PRM at Taobao, Huawei's live
+diversified re-ranker) coalesce concurrent user requests into batched
+forward passes behind strict latency budgets.  This package turns the
+hardened library into that serving system:
+
+- :mod:`repro.serve.clock` — :class:`ManualClock`, the injectable
+  virtual clock every serving component accepts so coalescing windows,
+  TTL expiry, and load generation replay deterministically in tests;
+- :mod:`repro.serve.cache` — :class:`SlateCache`, a TTL + LRU slate
+  cache keyed on ``(tenant, user, candidate-set hash)`` with full-key
+  collision discrimination and invalidation-on-history-update;
+- :mod:`repro.serve.batcher` — :class:`BatcherCore`, the sans-io
+  coalescing state machine (group by ``(tenant, list_length)``, close on
+  size or window, bounded admission queue);
+- :mod:`repro.serve.service` — :class:`RerankService`, the asyncio
+  request loop wiring admission control → cache → batcher → batched
+  ``Reranker.rerank`` (typically a
+  :class:`~repro.resilience.degrade.ResilientReranker`) → ``repro.obs``;
+- :mod:`repro.serve.loadgen` — Zipfian closed-loop load generation over
+  millions of distinct virtual users, in wall-clock mode (benchmarks)
+  or virtual-time mode (deterministic tests).
+
+See DESIGN.md §11 for the architecture and TESTING.md for the
+fake-clock/seeded-scheduler test contract.
+"""
+
+from .batcher import Batch, BatcherCore, QueueFullError
+from .cache import SlateCache
+from .clock import ManualClock
+from .loadgen import LoadGenerator, LoadReport, ZipfianWorkload
+from .service import (
+    RerankService,
+    ServeRequest,
+    ServeResult,
+    ServiceOverloaded,
+    ServingTenant,
+)
+
+__all__ = [
+    "Batch",
+    "BatcherCore",
+    "QueueFullError",
+    "SlateCache",
+    "ManualClock",
+    "LoadGenerator",
+    "LoadReport",
+    "ZipfianWorkload",
+    "RerankService",
+    "ServeRequest",
+    "ServeResult",
+    "ServiceOverloaded",
+    "ServingTenant",
+]

@@ -10,12 +10,15 @@ JSON diff under ``tests/golden/`` after::
 
 from __future__ import annotations
 
+import asyncio
+
 import numpy as np
 import pytest
 
 from repro.data import build_batch
 from repro.eval import make_reranker
 from repro.nn import inference
+from repro.serve import ManualClock, RerankService, ServeRequest, ServingTenant
 
 # Every model of the paper's comparison table with reproducible output:
 # the 11 baseline re-rankers plus the full RAPID model.
@@ -126,6 +129,65 @@ def test_inference_matches_tape_slate(name, fitted_reranker, golden_batch):
     # Scores live in (0, 1) (sigmoid outputs) or modest logit ranges; a
     # 1e-5 absolute budget is ~100x float32 eps headroom at these scales.
     np.testing.assert_allclose(fast_scores, tape_scores, rtol=0, atol=1e-5)
+
+
+@pytest.mark.serve
+@pytest.mark.parametrize("name", MODELS)
+def test_served_slate_matches_direct_rerank(name, fitted_reranker, tiny_bundle):
+    """The serving layer's bitwise contract, for every model in the table.
+
+    Each golden request is submitted to a coalescing
+    :class:`~repro.serve.service.RerankService` (all six share one forward
+    batch) and the served slate must equal calling ``Reranker.rerank``
+    directly on that request alone — batching across users, padding, and
+    the service plumbing may not change a single served position.
+    """
+    reranker = fitted_reranker(name)
+    bundle = tiny_bundle
+    requests = bundle.test_requests[:6]
+    by_length: dict[int, list] = {}
+    for request in requests:
+        by_length.setdefault(request.list_length, []).append(request)
+
+    clock = ManualClock()
+    tenant = ServingTenant(
+        reranker,
+        bundle.world.catalog,
+        bundle.world.population,
+        list(bundle.histories),
+    )
+    service = RerankService(
+        tenant, cache=None, max_batch_size=len(requests), clock=clock
+    )
+
+    async def serve_all():
+        tasks = [
+            asyncio.create_task(
+                service.rerank(
+                    ServeRequest(r.user_id, r.items, r.initial_scores)
+                )
+            )
+            for r in requests
+        ]
+        while not all(t.done() for t in tasks):
+            await service.drain()
+        return await asyncio.gather(*tasks)
+
+    results = asyncio.run(serve_all())
+    for request, result in zip(requests, results):
+        # Equal-length requests coalesced into one forward pass.
+        assert result.batch_size == len(by_length[request.list_length])
+        direct = reranker.rerank(
+            build_batch(
+                [request],
+                bundle.world.catalog,
+                bundle.world.population,
+                bundle.histories,
+            )
+        )[0]
+        assert (result.permutation == direct).all(), (
+            f"{name}: served slate differs from direct rerank"
+        )
 
 
 def test_every_model_in_comparison_is_snapshotted(golden_store):

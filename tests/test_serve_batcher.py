@@ -1,0 +1,208 @@
+"""Deterministic batcher tests: fake clock + seeded arrival schedules.
+
+The serving test contract (TESTING.md): no wall-clock sleeps anywhere —
+a :class:`~repro.serve.clock.ManualClock` is advanced explicitly, so
+every coalescing decision is a pure, replayable function of the arrival
+schedule.  These tests assert *exact batch compositions*, not just
+counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry
+from repro.serve import BatcherCore, ManualClock, QueueFullError
+
+pytestmark = pytest.mark.serve
+
+
+def seeded_schedule(seed: int, count: int = 40):
+    """A seeded arrival schedule: (inter-arrival seconds, group key)."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=0.0005, size=count)
+    keys = rng.choice(["a", "b"], size=count, p=[0.7, 0.3])
+    return list(zip(gaps.tolist(), keys.tolist()))
+
+
+def replay(schedule, max_batch_size=4, max_wait_ms=2.0):
+    """Feed a schedule through a fresh core; collect released batches."""
+    clock = ManualClock()
+    core = BatcherCore(
+        max_batch_size=max_batch_size, max_wait_ms=max_wait_ms, clock=clock
+    )
+    released = []
+    for gap, key in schedule:
+        clock.advance(gap)
+        released.extend(core.due())
+        core.submit(key, payload=None)
+        released.extend(core.due())
+    if core.pending:
+        clock.advance(max_wait_ms / 1000.0)
+        released.extend(core.due())
+    assert core.pending == 0
+    return [(b.key, tuple(b.seqs), b.reason) for b in released]
+
+
+class TestManualClock:
+    def test_advance_and_monotonicity(self):
+        clock = ManualClock(10.0)
+        assert clock() == 10.0
+        clock.advance(2.5)
+        clock.sleep(0.5)
+        assert clock.now == 13.0
+        clock.advance_to(12.0)  # past deadline: no-op
+        assert clock.now == 13.0
+        clock.advance_to(14.0)
+        assert clock.now == 14.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestDeterministicCoalescing:
+    def test_exact_batch_composition_fixed_schedule(self):
+        """A hand-written schedule closes exactly the expected groups."""
+        clock = ManualClock()
+        core = BatcherCore(max_batch_size=3, max_wait_ms=10.0, clock=clock)
+        # t=0: two "a" arrivals, one "b".
+        core.submit("a", "a0")
+        core.submit("a", "a1")
+        core.submit("b", "b0")
+        assert core.due() == []  # nothing full, nothing expired
+        # Third "a" fills the group: released immediately, ahead of "b".
+        core.submit("a", "a2")
+        [full] = core.due()
+        assert (full.key, full.seqs, full.reason) == ("a", [0, 1, 3], "full")
+        assert full.payloads == ["a0", "a1", "a2"]
+        # "b" window opened at t=0: due only once the clock passes 10 ms.
+        clock.advance(0.0099)
+        assert core.due() == []
+        clock.advance(0.0002)
+        [windowed] = core.due()
+        assert (windowed.key, windowed.seqs, windowed.reason) == ("b", [2], "window")
+        assert core.pending == 0
+
+    def test_late_arrivals_ride_the_open_window(self):
+        """The window starts at the FIRST request; later ones never extend it."""
+        clock = ManualClock()
+        core = BatcherCore(max_batch_size=100, max_wait_ms=5.0, clock=clock)
+        core.submit("a", 0)
+        clock.advance(0.004)
+        core.submit("a", 1)  # 1 ms of window left
+        clock.advance(0.0011)
+        [batch] = core.due()
+        assert batch.seqs == [0, 1]
+        # Queueing delay is bounded by the window, not restarted per item.
+        assert batch.closed_at - batch.opened_at == pytest.approx(0.0051)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_schedule_replays_bitwise(self, seed):
+        """Same seed -> byte-identical batch compositions, twice."""
+        schedule = seeded_schedule(seed)
+        first = replay(schedule)
+        second = replay(schedule)
+        assert first == second
+        assert sum(len(seqs) for _, seqs, _ in first) == len(schedule)
+
+    def test_seeded_schedule_matches_reference_replay(self):
+        """Pin one schedule's composition against a straight-line oracle.
+
+        The oracle re-implements the three rules (group by key, close on
+        size, close on window) in plain loops; the core must agree batch
+        for batch.
+        """
+        schedule = seeded_schedule(7, count=60)
+        max_batch, max_wait_s = 4, 0.002
+
+        expected = []
+        open_groups: dict = {}  # key -> (opened_at, [seq])
+        now, seq = 0.0, 0
+
+        def expire(now):
+            for key in [
+                k for k, (at, _) in open_groups.items() if now - at >= max_wait_s
+            ]:
+                at, seqs = open_groups.pop(key)
+                expected.append((key, tuple(seqs), "window"))
+
+        for gap, key in schedule:
+            now += gap
+            expire(now)
+            if key not in open_groups:
+                open_groups[key] = (now, [])
+            open_groups[key][1].append(seq)
+            if len(open_groups[key][1]) >= max_batch:
+                _, seqs = open_groups.pop(key)
+                expected.append((key, tuple(seqs), "full"))
+            seq += 1
+        now += max_wait_s
+        expire(now)
+
+        assert replay(schedule, max_batch, max_wait_s * 1000.0) == expected
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds(self):
+        clock = ManualClock()
+        core = BatcherCore(
+            max_batch_size=100, max_wait_ms=50.0, max_pending=3, clock=clock
+        )
+        get_registry().reset()
+        for i in range(3):
+            core.submit("a", i)
+        with pytest.raises(QueueFullError) as excinfo:
+            core.submit("a", 3)
+        assert excinfo.value.pending == 3
+        assert get_registry().counter("serve.batcher.shed").value == 1
+        # Releasing the batch frees the queue again.
+        clock.advance(1.0)
+        [batch] = core.due()
+        assert batch.seqs == [0, 1, 2]
+        core.submit("a", 4)
+        assert core.pending == 1
+
+    def test_batch_size_histogram_records_releases(self):
+        get_registry().reset()
+        clock = ManualClock()
+        core = BatcherCore(max_batch_size=2, max_wait_ms=1.0, clock=clock)
+        core.submit("a", 0)
+        core.submit("a", 1)  # full
+        core.submit("b", 2)
+        clock.advance(1.0)
+        core.due()
+        histogram = get_registry().histogram("serve.batch_size")
+        assert histogram.count == 2
+        assert histogram.sum == 3.0
+
+
+class TestDeadlines:
+    def test_next_deadline_tracks_oldest_group(self):
+        clock = ManualClock()
+        core = BatcherCore(max_batch_size=10, max_wait_ms=2.0, clock=clock)
+        assert core.next_deadline() is None
+        core.submit("a", 0)
+        opened = clock.now
+        clock.advance(0.001)
+        core.submit("b", 1)
+        assert core.next_deadline() == pytest.approx(opened + 0.002)
+
+    def test_full_batch_is_due_immediately(self):
+        clock = ManualClock()
+        core = BatcherCore(max_batch_size=1, max_wait_ms=60_000.0, clock=clock)
+        core.submit("a", 0)
+        assert core.next_deadline() == clock.now
+        [batch] = core.due()
+        assert batch.reason == "full"
+
+    def test_flush_releases_everything(self):
+        clock = ManualClock()
+        core = BatcherCore(max_batch_size=10, max_wait_ms=60_000.0, clock=clock)
+        core.submit("a", 0)
+        core.submit("b", 1)
+        batches = core.flush()
+        assert [(b.key, b.reason) for b in batches] == [
+            ("a", "flush"),
+            ("b", "flush"),
+        ]
+        assert core.pending == 0

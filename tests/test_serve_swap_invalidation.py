@@ -1,0 +1,183 @@
+"""Regression: model swaps must invalidate tape-free weight-cast caches.
+
+PR 8 documented the staleness window: :mod:`repro.nn.inference` keys its
+float32 weight casts on parameter-array *identity*, so in-place mutation
+of ``param.data`` serves stale casts until :func:`invalidate_caches` is
+called.  Serving exposes exactly that window — a mid-flight model swap
+can reinstate a module whose weights were updated in place.  The fix:
+:meth:`ResilientReranker.swap_primary` fires the invalidation on both the
+outgoing and incoming primary automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RapidConfig, RapidReranker, TrainConfig
+from repro.data import RankingRequest, build_batch
+from repro.nn import inference
+from repro.resilience.degrade import ResilientReranker, _invalidate_stage_caches
+from repro.serve import ManualClock, RerankService, ServeRequest, ServingTenant
+
+pytestmark = pytest.mark.serve
+
+
+def _rapid(world, seed: int = 0) -> RapidReranker:
+    config = RapidConfig(
+        user_dim=world.population.feature_dim,
+        item_dim=world.catalog.feature_dim,
+        num_topics=world.catalog.num_topics,
+        hidden=4,
+        seed=seed,
+    )
+    return RapidReranker(config, train_config=TrainConfig(epochs=1, batch_size=8))
+
+
+def _batch(world, histories, count: int = 6, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(count):
+        items = rng.choice(world.config.num_items, size=8, replace=False)
+        requests.append(
+            RankingRequest(
+                int(rng.integers(world.config.num_users)),
+                items,
+                rng.normal(size=8),
+            )
+        )
+    return build_batch(requests, world.catalog, world.population, histories)
+
+
+def _mutate_in_place(rapid: RapidReranker) -> None:
+    """Flip every weight's sign without rebinding any array."""
+    for param in rapid.model.parameters():
+        param.data *= -1.0
+
+
+def test_in_place_mutation_is_stale_without_invalidation(taobao_world):
+    """The documented PR 8 window really exists (guards the fixture)."""
+    world = taobao_world
+    histories = world.sample_histories()
+    rapid = _rapid(world)
+    batch = _batch(world, histories)
+    with inference.use_infer(True):
+        before = rapid.score_batch(batch)
+        _mutate_in_place(rapid)
+        stale = rapid.score_batch(batch)  # identity-keyed caches: unchanged
+        np.testing.assert_array_equal(stale, before)
+        inference.invalidate_caches(rapid.model)
+        fresh = rapid.score_batch(batch)
+    assert not np.allclose(fresh, before), "mutation had no effect at all"
+
+
+def test_swap_primary_invalidates_incoming_model(taobao_world):
+    """Swapping in a model mutated in place must serve its NEW weights."""
+    world = taobao_world
+    histories = world.sample_histories()
+    rapid = _rapid(world)
+    standby = _rapid(world, seed=1)
+    batch = _batch(world, histories)
+    wrapped = ResilientReranker(rapid, fallbacks=[], deadline_ms=None)
+    with inference.use_infer(True):
+        wrapped.rerank(batch)  # build rapid's weight-cast caches
+        wrapped.swap_primary(standby)
+        assert wrapped.name == "resilient-rapid-pro"
+        # While offline, the original model's weights are updated IN PLACE
+        # (the exact shape of a hot-reload that reuses buffers).
+        _mutate_in_place(rapid)
+        wrapped.swap_primary(rapid)
+        served = wrapped.score_batch(batch)
+        inference.invalidate_caches(rapid.model)  # belt-and-braces oracle
+        oracle = rapid.score_batch(batch)
+    np.testing.assert_array_equal(served, oracle)
+
+
+def test_swap_primary_invalidates_outgoing_model(taobao_world):
+    """The outgoing primary's caches die too: re-swapping it later cannot
+    resurrect casts from before any interim in-place update."""
+    world = taobao_world
+    histories = world.sample_histories()
+    rapid = _rapid(world)
+    batch = _batch(world, histories)
+    wrapped = ResilientReranker(rapid, fallbacks=[], deadline_ms=None)
+    with inference.use_infer(True):
+        wrapped.rerank(batch)
+    assert any(
+        key.startswith("_infer_cache_")
+        for module in _walk(rapid.model)
+        for key in module.__dict__
+    )
+    wrapped.swap_primary(_rapid(world, seed=2))
+    assert not any(
+        key.startswith("_infer_cache_")
+        for module in _walk(rapid.model)
+        for key in module.__dict__
+    )
+
+
+def _walk(module):
+    yield module
+    for child in module.children():
+        yield from _walk(child)
+
+
+def test_invalidate_stage_caches_finds_nested_modules(taobao_world):
+    """The sweep covers RapidReranker.model-style nesting."""
+    world = taobao_world
+    histories = world.sample_histories()
+    rapid = _rapid(world)
+    batch = _batch(world, histories)
+    with inference.use_infer(True):
+        rapid.score_batch(batch)
+    assert any(
+        key.startswith("_infer_cache_")
+        for module in _walk(rapid.model)
+        for key in module.__dict__
+    )
+    _invalidate_stage_caches(rapid)
+    assert not any(
+        key.startswith("_infer_cache_")
+        for module in _walk(rapid.model)
+        for key in module.__dict__
+    )
+
+
+def test_service_swap_model_serves_fresh_weights(taobao_world):
+    """End to end through the service: swap + in-place mutation + cache."""
+    import asyncio
+
+    world = taobao_world
+    histories = world.sample_histories()
+    rapid = _rapid(world)
+    wrapped = ResilientReranker(rapid, fallbacks=[], deadline_ms=None)
+    clock = ManualClock()
+    tenant = ServingTenant(wrapped, world.catalog, world.population, list(histories))
+    from repro.serve import SlateCache
+
+    service = RerankService(tenant, cache=SlateCache(clock=clock), clock=clock)
+    rng = np.random.default_rng(51)
+    items = rng.choice(world.config.num_items, size=8, replace=False)
+    request = ServeRequest(
+        int(rng.integers(world.config.num_users)), items, rng.normal(size=8)
+    )
+
+    async def scenario():
+        before, _ = await asyncio.gather(service.rerank(request), service.drain())
+        _mutate_in_place(rapid)
+        service.swap_model(rapid)  # same wrapper, same (mutated) model
+        after, _ = await asyncio.gather(service.rerank(request), service.drain())
+        return before, after
+
+    with inference.use_infer(True):
+        before, after = asyncio.run(scenario())
+        assert after.source == "batched"  # slate cache cleared by the swap
+        single = build_batch(
+            [RankingRequest(request.user_id, request.items, request.initial_scores)],
+            world.catalog,
+            world.population,
+            histories,
+        )
+        inference.invalidate_caches(rapid.model)
+        oracle = wrapped.rerank(single)[0]
+    np.testing.assert_array_equal(after.permutation, oracle)
