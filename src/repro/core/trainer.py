@@ -27,7 +27,13 @@ from ..utils.rng import make_rng
 from ..utils.timer import Timings
 from .rapid import RapidConfig, RapidModel, make_rapid_variant
 
-__all__ = ["TrainConfig", "train_rapid", "RapidReranker"]
+__all__ = [
+    "TrainConfig",
+    "backward_batch",
+    "apply_step",
+    "train_rapid",
+    "RapidReranker",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,59 @@ class TrainConfig:
     topic_history_length: int = 5  # D, best value per Table V
     flat_history_length: int = 20
     seed: int = 0
+
+
+def backward_batch(
+    model: RapidModel,
+    optimizer: nn.Adam,
+    batch: RerankBatch,
+    rng: np.random.Generator,
+):
+    """Zero grads, forward, masked BCE, backward — no parameter update.
+
+    Returns ``(loss, count)`` where ``count`` is the number of observed
+    training positions (the BCE weight sum).  This is the half of a train
+    step that depends only on local data; the data-parallel trainer
+    (:mod:`repro.dist.train`) runs it per worker and averages the
+    resulting gradients weighted by ``count``, which reproduces the
+    single-process loss exactly: single-process BCE divides by the batch's
+    weight sum, so ``sum_w(grad_w * count_w) / sum_w(count_w)`` equals the
+    gradient of the concatenated batch.
+    """
+    optimizer.zero_grad()
+    probs = model(batch, rng=rng)
+    loss = nn.losses.pointwise_bce(probs, batch.clicks, mask=batch.training_mask)
+    loss.backward()
+    return loss, int(batch.training_mask.sum())
+
+
+def apply_step(
+    model: RapidModel,
+    optimizer: nn.Adam,
+    grad_clip: float,
+    grads: "list[np.ndarray] | None" = None,
+) -> float:
+    """Clip + Adam update; optionally install externally averaged ``grads``.
+
+    With ``grads`` given (one array per ``model.parameters()`` entry, in
+    order), each parameter's ``.grad`` is overwritten first — the
+    data-parallel path, where every replica applies the same averaged
+    gradient and therefore stays bit-identical.  Returns the pre-clip
+    global gradient norm.
+    """
+    params = list(model.parameters())
+    if grads is not None:
+        if len(grads) != len(params):
+            raise ValueError(
+                f"got {len(grads)} gradient arrays for {len(params)} parameters"
+            )
+        for param, grad in zip(params, grads):
+            # Autograd accumulates gradients in float64 (tensor.backward);
+            # installed averages must match or replicas drift bitwise.
+            param.grad = np.asarray(grad, dtype=np.float64)
+    grad_norm = nn.clip_grad_norm(params, grad_clip)
+    optimizer.step()
+    return float(grad_norm)
 
 
 def train_rapid(
@@ -131,16 +190,8 @@ def train_rapid(
                     faultpoint("train.batch")
                     with trace("train.batch"):
                         start = time.perf_counter()
-                        optimizer.zero_grad()
-                        probs = model(batch, rng=noise_rng)
-                        loss = nn.losses.pointwise_bce(
-                            probs, batch.clicks, mask=batch.training_mask
-                        )
-                        loss.backward()
-                        grad_norm = nn.clip_grad_norm(
-                            model.parameters(), config.grad_clip
-                        )
-                        optimizer.step()
+                        loss, _ = backward_batch(model, optimizer, batch, noise_rng)
+                        grad_norm = apply_step(model, optimizer, config.grad_clip)
                         batch_seconds = time.perf_counter() - start
                     batch_hist.observe(1000.0 * batch_seconds)
                     # Windowed twin + throughput meter (no-ops when windowed

@@ -118,6 +118,24 @@ class Population:
     def feature_dim(self) -> int:
         return self.features.shape[1]
 
+    @classmethod
+    def concat(cls, parts: "list[Population] | tuple[Population, ...]") -> "Population":
+        """Stack user blocks into one population (user ids renumber in order).
+
+        The sharded generator (:mod:`repro.dist.shard`) builds users in
+        independent per-shard blocks; concatenating shards ``0..S-1`` in
+        shard order yields the full population with user ``i`` of shard
+        ``s`` living at global row ``offset_s + i``.
+        """
+        if not parts:
+            raise ValueError("need at least one population to concatenate")
+        return cls(
+            features=np.concatenate([p.features for p in parts]),
+            topic_preference=np.concatenate([p.topic_preference for p in parts]),
+            diversity_weight=np.concatenate([p.diversity_weight for p in parts]),
+            latent=np.concatenate([p.latent for p in parts]),
+        )
+
 
 @dataclass
 class RankingRequest:

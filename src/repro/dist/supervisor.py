@@ -1,0 +1,526 @@
+"""Worker supervision: liveness, bounded restarts, graceful degradation.
+
+Two layers (DESIGN.md §12):
+
+- :class:`SupervisorCore` — the **sans-io state machine**.  It owns the
+  per-worker heartbeat ledger and restart budget and answers exactly two
+  questions: *who is overdue* (:meth:`~SupervisorCore.overdue`) and *what
+  to do about a death* (:meth:`~SupervisorCore.on_death` → restart with a
+  decorrelated-jitter delay, or degrade to fewer workers once the budget
+  is spent).  The clock is injectable, so the whole state machine is
+  testable without a single sleep or subprocess.
+- :class:`WorkerPool` — the **multiprocessing task farm** built on the
+  core.  Each worker gets its own duplex pipe; the parent dispatches
+  tasks, treats every message as a heartbeat, detects death via process
+  sentinels, requeues the dead worker's task (accounted through
+  :func:`repro.resilience.retry.record_retry`, so ``resilience.retries``
+  covers in-band and out-of-band retries alike), and respawns under the
+  core's budget.  Worker errors ship back as pickled exceptions and are
+  classified with the same :class:`~repro.resilience.retry.RetryPolicy`
+  machinery as local retries: retryable errors requeue the task, fatal
+  ones abort the run as a :class:`DistError`.
+
+Fault points: the parent visits ``<site>`` (the pool's dispatch site,
+e.g. ``dist.sweep.cell``) through
+:func:`~repro.resilience.chaos.faultpoint_signal` before every dispatch —
+a ``"kill"`` spec SIGKILLs the target worker (parent-side delivery keeps
+``plan.fires()`` auditable in the test process) and an ``"error"`` spec
+is absorbed as a transient dispatch failure.  Heartbeat intake visits
+``dist.heartbeat``; an ``"error"`` fire there drops the beat.
+
+Workers run under the parent's :class:`~repro.obs.context.TraceContext`,
+and ship their span buffers home on shutdown, so
+:func:`~repro.obs.context.write_chrome_trace` renders the whole fleet on
+one timeline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _mp_wait
+
+import numpy as np
+
+from ..obs.context import TraceContext, current_context, span_records, use_context
+from ..obs.tracing import reset_tracer, trace
+from ..resilience.chaos import clear_chaos, faultpoint, faultpoint_signal
+from ..resilience.errors import InjectedFault, ResilienceError
+from ..resilience.retry import RetryPolicy, next_backoff, record_retry
+
+__all__ = [
+    "DistError",
+    "RestartPolicy",
+    "RestartDecision",
+    "SupervisorCore",
+    "WorkerPool",
+    "picklable_error",
+]
+
+
+class DistError(ResilienceError):
+    """A distributed run failed in a classified way (budget spent, fleet gone)."""
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Restart budgets and backoff for one worker fleet.
+
+    ``max_restarts`` bounds respawns *per worker slot*; once spent the
+    slot is removed and the fleet degrades (``dist.degraded`` event).
+    Backoff between respawns follows the same decorrelated-jitter
+    schedule as :func:`repro.resilience.retry.call_with_retry`
+    (:func:`~repro.resilience.retry.next_backoff`).  ``task_retry``
+    classifies worker-reported errors (retryable → requeue the task,
+    fatal → abort) and bounds per-task attempts.
+    """
+
+    max_restarts: int = 2
+    base_delay: float = 0.01
+    max_delay: float = 0.5
+    heartbeat_timeout_s: float = 30.0
+    task_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=3, base_delay=0.0)
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class RestartDecision:
+    """What the supervisor decided about one worker death."""
+
+    action: str  # "restart" | "degrade"
+    delay: float = 0.0
+
+
+class SupervisorCore:
+    """Sans-io liveness ledger + restart-budget state machine.
+
+    All methods are pure bookkeeping over the injectable ``clock``; the
+    I/O layers (:class:`WorkerPool`, :func:`repro.dist.train.train_dist`)
+    call :meth:`beat` on every worker message, :meth:`overdue` while
+    waiting, and :meth:`on_death` when a worker is gone.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        policy: RestartPolicy = RestartPolicy(),
+        clock=time.monotonic,
+    ) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.policy = policy
+        self.clock = clock
+        self.live: set[int] = set(range(world_size))
+        self.removed: set[int] = set()
+        self.restarts: dict[int, int] = {rank: 0 for rank in range(world_size)}
+        self._rng = np.random.default_rng(policy.seed)
+        now = clock()
+        self._last_beat = {rank: now for rank in range(world_size)}
+        self._prev_delay = {rank: policy.base_delay for rank in range(world_size)}
+        self._gauge().set(float(len(self.live)))
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def beat(self, rank: int) -> bool:
+        """Record one heartbeat; returns False when chaos dropped it.
+
+        The intake is a ``dist.heartbeat`` fault point — an ``"error"``
+        spec firing here silently swallows the beat, which is how the
+        chaos matrix simulates a lossy liveness channel.
+        """
+        try:
+            faultpoint("dist.heartbeat")
+        except InjectedFault:
+            return False
+        if rank in self.live:
+            self._last_beat[rank] = self.clock()
+        return True
+
+    def overdue(self) -> list[int]:
+        """Live ranks whose last beat is older than the heartbeat timeout."""
+        now = self.clock()
+        return sorted(
+            rank
+            for rank in self.live
+            if now - self._last_beat[rank] > self.policy.heartbeat_timeout_s
+        )
+
+    # ------------------------------------------------------------------
+    # Restart budget
+    # ------------------------------------------------------------------
+    def on_death(self, rank: int) -> RestartDecision:
+        """Decide restart-vs-degrade for a dead worker and account for it.
+
+        Restarts increment ``dist.worker_restarts`` and emit a
+        ``dist.worker.restart`` run-log event; an exhausted budget removes
+        the slot, drops the ``dist.live_workers`` gauge, and emits
+        ``dist.degraded``.
+        """
+        if rank not in self.live:
+            raise ValueError(f"rank {rank} is not a live worker")
+        if self.restarts[rank] >= self.policy.max_restarts:
+            self.live.discard(rank)
+            self.removed.add(rank)
+            self._gauge().set(float(len(self.live)))
+            self._log(
+                "dist.degraded",
+                rank=rank,
+                restarts_spent=self.restarts[rank],
+                live_workers=len(self.live),
+            )
+            return RestartDecision("degrade")
+        self.restarts[rank] += 1
+        delay = next_backoff(
+            self._rng,
+            self.policy.base_delay,
+            self.policy.max_delay,
+            self._prev_delay[rank],
+        )
+        self._prev_delay[rank] = delay
+        self._last_beat[rank] = self.clock()  # fresh grace period
+        self._counter("dist.worker_restarts").inc()
+        self._log(
+            "dist.worker.restart",
+            rank=rank,
+            incarnation=self.restarts[rank],
+            delay_s=delay,
+        )
+        return RestartDecision("restart", delay)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts.values())
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _counter(name: str):
+        from ..obs.metrics import get_registry
+
+        return get_registry().counter(name)
+
+    @staticmethod
+    def _gauge():
+        from ..obs.metrics import get_registry
+
+        return get_registry().gauge("dist.live_workers")
+
+    @staticmethod
+    def _log(event: str, **fields) -> None:
+        from ..obs.runlog import get_run_logger
+
+        logger = get_run_logger()
+        if logger.active:
+            logger.log(event, **fields)
+
+
+def picklable_error(error: BaseException) -> BaseException:
+    """``error`` if it survives a pickle round trip, else a :class:`DistError`.
+
+    Workers ship exceptions to the parent over a pipe; an exception whose
+    ``__init__`` signature breaks unpickling (multi-arg constructors that
+    don't round-trip through ``args``) would otherwise crash the *parent*
+    during ``recv``.  The substitute keeps the type name and message but
+    classifies as unknown (fatal by default) — a worker error we cannot
+    even transport is not one we blindly retry.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return DistError(f"{type(error).__name__}: {error}")
+
+
+def _pool_worker_main(conn, rank: int, fn, ctx_dict, init) -> None:
+    """Task-loop entry point for one pool worker process.
+
+    Fork inherits the parent's armed chaos plan, global sinks, and the
+    parent's tracer — including any *still-open* span stack, under which
+    this worker's root span would silently nest and never be recorded.
+    :func:`clear_chaos` and :func:`reset_tracer` first, so faults
+    scheduled for the parent don't replay in every child and the span
+    buffer shipped home holds exactly this worker's spans.  ``init(rank)``
+    (when given) then installs any per-worker state — per-pid sinks,
+    worker-side chaos — before tasks run.
+    """
+    clear_chaos()
+    reset_tracer()
+    context = TraceContext.from_dict(ctx_dict) if ctx_dict else None
+    try:
+        with use_context(context):
+            if init is not None:
+                init(rank)
+            with trace(f"dist.pool.worker:{rank}"):
+                while True:
+                    message = conn.recv()
+                    if message[0] == "stop":
+                        break
+                    _, index, payload = message
+                    try:
+                        with trace(f"dist.pool.task:{index}"):
+                            result = fn(payload)
+                        conn.send(("ok", rank, index, result))
+                    except BaseException as error:  # noqa: BLE001 - shipped home
+                        conn.send(("err", rank, index, picklable_error(error)))
+        conn.send(("bye", rank, span_records()))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent gone: die quietly
+        pass
+
+
+class WorkerPool:
+    """A supervised multiprocessing task farm (see module docs).
+
+    ``fn(payload)`` runs in the workers; ``run(tasks)`` returns one result
+    per task, in task order, surviving worker deaths up to the policy's
+    budgets.  ``init(rank)`` runs once per worker incarnation before any
+    task (install per-pid sinks there).  The ``site`` names the fault
+    point visited at dispatch and the retry site used for requeue
+    accounting.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        fn,
+        policy: RestartPolicy = RestartPolicy(),
+        site: str = "dist.task",
+        init=None,
+        sleep=time.sleep,
+        clock=time.monotonic,
+        poll_s: float = 0.05,
+        mp_context=None,
+    ) -> None:
+        self.fn = fn
+        self.site = site
+        self.init = init
+        self.policy = policy
+        self.core = SupervisorCore(num_workers, policy, clock)
+        self._sleep = sleep
+        self._poll_s = poll_s
+        self._ctx = mp_context if mp_context is not None else mp.get_context("fork")
+        self._conns: dict[int, object] = {}
+        self._procs: dict[int, object] = {}
+        self.span_buffer: list[dict] = []
+        self._span_ids: set[str] = set()
+        context = current_context()
+        self._ctx_dict = context.to_dict() if context is not None else None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        for rank in sorted(self.core.live):
+            self._spawn(rank)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _spawn(self, rank: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, rank, self.fn, self._ctx_dict, self.init),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._conns[rank] = parent_conn
+        self._procs[rank] = process
+
+    def _kill(self, rank: int) -> None:
+        process = self._procs.get(rank)
+        if process is not None and process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+            process.join()
+
+    def _reap(self, rank: int) -> None:
+        conn = self._conns.pop(rank, None)
+        if conn is not None:
+            conn.close()
+        process = self._procs.pop(rank, None)
+        if process is not None:
+            process.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Drain span buffers from live workers and shut everything down."""
+        for rank in sorted(self.core.live):
+            conn = self._conns.get(rank)
+            if conn is None:
+                continue
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                continue
+            while True:
+                if not conn.poll(5.0):
+                    break
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    break
+                if message[0] == "bye":
+                    self._absorb_spans(message[2])
+                    break
+        for rank in list(self._procs):
+            self._reap(rank)
+
+    def _absorb_spans(self, records) -> None:
+        for record in records or ():
+            span_id = record.get("span_id")
+            if span_id not in self._span_ids:
+                self._span_ids.add(span_id)
+                self.span_buffer.append(record)
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: list) -> list:
+        """Run every task; returns results in task order.
+
+        Raises :class:`DistError` when a task exhausts its attempt budget,
+        a worker reports a fatal error, or the whole fleet is gone.
+        """
+        results: list = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        attempts = [0] * len(tasks)
+        assigned: dict[int, int] = {}
+        idle = [rank for rank in sorted(self.core.live) if rank in self._conns]
+        done = 0
+        while done < len(tasks):
+            if not self.core.live:
+                raise DistError(
+                    "no workers left: every restart budget is exhausted "
+                    f"({len(tasks) - done} task(s) incomplete)"
+                )
+            while pending and idle:
+                rank = idle.pop(0)
+                index = pending.pop(0)
+                assigned[rank] = index
+                try:
+                    spec = faultpoint_signal(self.site)
+                except InjectedFault as error:
+                    # transient dispatch failure: requeue under the task
+                    # budget, the worker goes back to the idle pool
+                    assigned.pop(rank, None)
+                    idle.append(rank)
+                    self._requeue(index, attempts, pending, error)
+                    continue
+                if spec is not None and spec.kind == "kill":
+                    self._kill(rank)
+                    continue  # death path below requeues the task
+                try:
+                    self._conns[rank].send(("task", index, tasks[index]))
+                except (BrokenPipeError, OSError):
+                    pass  # death path below requeues the task
+            progressed = False
+            for rank in sorted(self.core.live):
+                conn = self._conns.get(rank)
+                if conn is None:
+                    continue
+                message = None
+                if conn.poll(0):
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        # EOF: the channel is finished (an EOF'd pipe stays
+                        # poll-ready forever, so it must be handled *here*,
+                        # not by the is-alive check below).
+                        self._kill(rank)
+                        self._on_worker_death(rank, assigned, pending, attempts, idle)
+                        progressed = True
+                        continue
+                if message is None:
+                    if not self._procs[rank].is_alive() and not conn.poll(0):
+                        self._on_worker_death(rank, assigned, pending, attempts, idle)
+                        progressed = True
+                    continue
+                progressed = True
+                kind = message[0]
+                if kind == "hb":
+                    self.core.beat(rank)
+                    continue
+                self.core.beat(rank)
+                index = message[2]
+                if kind == "ok":
+                    results[index] = message[3]
+                    done += 1
+                    assigned.pop(rank, None)
+                    idle.append(rank)
+                elif kind == "err":
+                    error = message[3]
+                    assigned.pop(rank, None)
+                    idle.append(rank)
+                    if self.policy.task_retry.classify(error) == "fatal":
+                        raise DistError(
+                            f"task {index} failed fatally in worker {rank}"
+                        ) from error
+                    self._requeue(index, attempts, pending, error)
+            if not progressed:
+                self._wait_for_events(assigned)
+        return results
+
+    def _requeue(
+        self, index: int, attempts: list[int], pending: list[int], error
+    ) -> None:
+        attempts[index] += 1
+        record_retry(self.site, attempts[index], error)
+        if attempts[index] >= self.policy.task_retry.max_attempts:
+            raise DistError(
+                f"task {index} failed on all {attempts[index]} attempt(s) "
+                f"at {self.site!r}"
+            ) from error
+        pending.insert(0, index)
+
+    def _on_worker_death(
+        self,
+        rank: int,
+        assigned: dict[int, int],
+        pending: list[int],
+        attempts: list[int],
+        idle: list[int],
+    ) -> None:
+        index = assigned.pop(rank, None)
+        if index is not None:
+            self._requeue(
+                index,
+                attempts,
+                pending,
+                DistError(f"worker {rank} died while running task {index}"),
+            )
+        if rank in idle:
+            idle.remove(rank)
+        self._reap(rank)
+        decision = self.core.on_death(rank)
+        if decision.action == "restart":
+            if decision.delay > 0:
+                self._sleep(decision.delay)
+            self._spawn(rank)
+            idle.append(rank)
+
+    def _wait_for_events(self, assigned: dict[int, int]) -> None:
+        handles = []
+        for rank in sorted(self.core.live):
+            conn = self._conns.get(rank)
+            if conn is not None:
+                handles.append(conn)
+            process = self._procs.get(rank)
+            if process is not None:
+                handles.append(process.sentinel)
+        if handles:
+            _mp_wait(handles, timeout=self._poll_s)

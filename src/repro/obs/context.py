@@ -49,6 +49,7 @@ __all__ = [
     "use_context",
     "propagated",
     "span_records",
+    "span_tree_records",
     "merge_span_records",
     "chrome_trace_from_records",
     "write_chrome_trace",
@@ -155,6 +156,19 @@ def span_records(tracer: Tracer | None = None) -> list[dict]:
     """
     tracer = tracer if tracer is not None else get_tracer()
     return [_record_of(span, path) for span, _, path in tracer.walk()]
+
+
+def span_tree_records(span: Span) -> list[dict]:
+    """Records for one finished span and all of its descendants.
+
+    The tracer only files a tree under its *root* — a span that is itself
+    nested (or whose root is still open) never shows up in
+    :func:`span_records`.  Holding on to the span returned by
+    ``with trace(...) as span`` and walking it directly after the block
+    closes sidesteps that, and also scopes the records to exactly one
+    operation instead of the process's whole history.
+    """
+    return [_record_of(child, path) for child, _, path in span.walk()]
 
 
 def merge_span_records(*buffers: "list[dict] | None") -> list[dict]:

@@ -25,12 +25,14 @@ distinct.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 import time
 from pathlib import Path
 
 from .metrics import MetricsRegistry, get_registry
+from .runlog import per_pid_path
 
 __all__ = [
     "render_openmetrics",
@@ -193,6 +195,13 @@ class SnapshotExporter:
     Each rewrite replaces the file atomically; ``stop()`` (or context
     exit) writes one final snapshot so the file always reflects the end
     state of the run.
+
+    Multi-process safety mirrors :class:`~repro.obs.runlog.JsonlSink`: the
+    exporter is owned by the pid that created it.  With ``per_pid=True``
+    it writes to :func:`~repro.obs.runlog.per_pid_path` and a forked child
+    rebinds to its own file; without it, a write from another pid raises
+    ``RuntimeError`` — two exporters ping-ponging one path would make the
+    snapshot flap between two processes' registries.
     """
 
     def __init__(
@@ -200,17 +209,33 @@ class SnapshotExporter:
         path: str | Path,
         interval_s: float = 10.0,
         registry: MetricsRegistry | None = None,
+        per_pid: bool = False,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("interval_s must be positive")
-        self.path = Path(path)
+        self.requested_path = Path(path)
+        self.per_pid = per_pid
+        self.path = per_pid_path(self.requested_path) if per_pid else Path(path)
         self.interval_s = float(interval_s)
         self.registry = registry
+        self._owner_pid = os.getpid()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self.writes = 0
 
     def _write(self) -> None:
+        pid = os.getpid()
+        if pid != self._owner_pid:
+            if not self.per_pid:
+                raise RuntimeError(
+                    f"SnapshotExporter({str(self.requested_path)!r}) was "
+                    f"created in pid {self._owner_pid} but is writing from "
+                    f"pid {pid}; two processes overwriting one snapshot "
+                    "path makes it flap between registries. Pass "
+                    "per_pid=True or give each process its own path."
+                )
+            self.path = per_pid_path(self.requested_path, pid)
+            self._owner_pid = pid
         write_snapshot(self.path, self.registry)
         self.writes += 1
 

@@ -45,9 +45,26 @@ __all__ = [
     "RunLogger",
     "get_run_logger",
     "set_run_logger",
+    "per_pid_path",
     "read_jsonl",
     "read_jsonl_rotated",
 ]
+
+
+def per_pid_path(path: str | Path, pid: int | None = None) -> Path:
+    """``log.jsonl`` → ``log.pid12345.jsonl`` for the given (default: own) pid.
+
+    The suffix goes *before* the extension so rotation archives
+    (``log.pid12345.jsonl.1``) and glob patterns (``log.pid*.jsonl``) keep
+    working.  This is how one logical sink path fans out into one physical
+    file per process — JSONL appends from multiple processes interleave at
+    the OS level and can tear records, so sharing a file is refused.
+    """
+    path = Path(path)
+    pid = os.getpid() if pid is None else pid
+    if path.suffix:
+        return path.with_name(f"{path.stem}.pid{pid}{path.suffix}")
+    return path.with_name(f"{path.name}.pid{pid}")
 
 
 class NullSink:
@@ -94,6 +111,15 @@ class JsonlSink:
     oldest file beyond ``keep_last`` is deleted) and reopens a fresh
     ``path``.  Rotation happens *between* records, never inside one, so
     every file in the set is independently valid JSONL.
+
+    Multi-process safety: a sink is owned by the pid that created it.
+    With ``per_pid=True`` the sink writes to :func:`per_pid_path` instead,
+    and a forked child transparently rebinds to *its own* per-pid file on
+    the first write (the inherited handle is abandoned, never closed — the
+    parent still owns that file).  Without ``per_pid``, a write from a
+    different pid raises ``RuntimeError`` rather than silently interleaving
+    two processes' records into one file.  Worker fleets
+    (:mod:`repro.dist`) install per-pid sinks in every worker.
     """
 
     active = True
@@ -104,16 +130,20 @@ class JsonlSink:
         fsync: bool = False,
         max_bytes: int | None = None,
         keep_last: int = 3,
+        per_pid: bool = False,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         if keep_last < 1:
             raise ValueError("keep_last must be >= 1")
-        self.path = Path(path)
+        self.requested_path = Path(path)
+        self.per_pid = per_pid
+        self.path = per_pid_path(self.requested_path) if per_pid else Path(path)
         self.fsync = fsync
         self.max_bytes = max_bytes
         self.keep_last = keep_last
         self.rotations = 0
+        self._owner_pid = os.getpid()
         self._handle = None
         self._size = 0
 
@@ -139,7 +169,27 @@ class JsonlSink:
         self.rotations += 1
         self._size = 0
 
+    def _check_owner(self) -> None:
+        pid = os.getpid()
+        if pid == self._owner_pid:
+            return
+        if not self.per_pid:
+            raise RuntimeError(
+                f"JsonlSink({str(self.requested_path)!r}) was created in pid "
+                f"{self._owner_pid} but written from pid {pid}; concurrent "
+                "appends from multiple processes tear JSONL records. Pass "
+                "per_pid=True or give each process its own path."
+            )
+        # Forked child: abandon the inherited handle (closing it could
+        # disturb the parent's file) and rebind to this pid's own file.
+        self._handle = None
+        self.path = per_pid_path(self.requested_path, pid)
+        self.rotations = 0
+        self._size = 0
+        self._owner_pid = pid
+
     def write(self, record: dict) -> None:
+        self._check_owner()
         if self._handle is None:
             self._open()
         line = json.dumps(record, default=_json_fallback) + "\n"

@@ -14,12 +14,18 @@ the markers with a :class:`ChaosPlan`::
     with chaos(FaultSpec("rerank.score.*", kind="error", times=2), seed=0):
         run_serving_sweep()
 
-Three fault kinds:
+Four fault kinds:
 
 - ``"error"`` — raise :class:`~repro.resilience.errors.InjectedFault`
   (or a custom exception type via ``FaultSpec.error``);
 - ``"latency"`` — sleep ``latency_ms`` (the sleeper is injectable, so
   tests can fake clocks instead of waiting);
+- ``"kill"`` — deliver ``SIGKILL``.  Fired through a plain
+  :func:`faultpoint` the *current process* kills itself (the mode a dist
+  worker arms to die mid-step); fired through :func:`faultpoint_signal`
+  the spec is *returned* and the caller delivers the kill — the dist
+  supervisor SIGKILLs the worker whose message it was processing, so the
+  plan's ``fires()`` stays parent-side and auditable;
 - ``"nan"`` — poison the *output of an autograd op*.  The spec's ``site``
   names an op from :data:`repro.nn.tensor.PROFILED_OPS` as ``op.<name>``
   (e.g. ``op.sigmoid``); installing the plan wraps the op-dispatch surface
@@ -45,6 +51,15 @@ Fault-point map (kept in sync with DESIGN.md §8):
                        name (``rerank.base``; target with ``rerank.score.*``)
 ``eval.rerank``        start of test-set re-ranking (``eval.experiment``)
 ``eval.metrics``       start of metric computation (``eval.experiment``)
+``dist.heartbeat``     worker-heartbeat intake in the dist supervisor
+                       (``"error"`` fires drop the heartbeat)
+``dist.worker.step``   every data-parallel training step — in the worker
+                       (top of the step; ``"kill"`` = worker suicide) and
+                       in the supervisor (per grad message; ``"kill"`` =
+                       SIGKILL that worker)
+``dist.shard.write``   before each synthetic-shard archive write
+``dist.sweep.cell``    each eval-sweep cell dispatch (supervisor) and
+                       execution (worker)
 ``op.<name>``          autograd op outputs (``"nan"`` kind only)
 =====================  =====================================================
 """
@@ -52,6 +67,8 @@ Fault-point map (kept in sync with DESIGN.md §8):
 from __future__ import annotations
 
 import fnmatch
+import os
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -65,6 +82,7 @@ __all__ = [
     "FaultSpec",
     "ChaosPlan",
     "faultpoint",
+    "faultpoint_signal",
     "install_chaos",
     "clear_chaos",
     "chaos",
@@ -83,7 +101,7 @@ class FaultSpec:
     """
 
     site: str
-    kind: str = "error"  # "error" | "latency" | "nan"
+    kind: str = "error"  # "error" | "latency" | "nan" | "kill"
     probability: float = 1.0
     after: int = 0
     times: int | None = 1
@@ -92,7 +110,7 @@ class FaultSpec:
     message: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "latency", "nan"):
+        if self.kind not in ("error", "latency", "nan", "kill"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
@@ -146,8 +164,10 @@ class ChaosPlan:
     def visit(self, site: str):
         """Called by :func:`faultpoint`; may sleep or raise.
 
-        Returns the matching fired :class:`FaultSpec` for ``"nan"`` sites
-        (the op wrapper applies the poison) and ``None`` otherwise.
+        Returns the matching fired :class:`FaultSpec` for the
+        caller-delivered kinds — ``"nan"`` (the op wrapper applies the
+        poison) and ``"kill"`` (the caller delivers the SIGKILL) — and
+        ``None`` otherwise.
         """
         for state in self._states:
             spec = state.spec
@@ -169,7 +189,7 @@ class ChaosPlan:
                 if spec.error is not None:
                     raise spec.error(spec.message or f"injected fault at {site!r}")
                 raise InjectedFault(site, spec.message)
-            else:  # "nan": poison applied by the op wrapper
+            else:  # "nan"/"kill": delivered by the caller
                 return spec
         return None
 
@@ -223,10 +243,31 @@ _ACTIVE: ChaosPlan | None = None
 
 
 def faultpoint(site: str) -> None:
-    """Fault-injection marker; free when no chaos plan is installed."""
+    """Fault-injection marker; free when no chaos plan is installed.
+
+    A ``"kill"`` spec firing here SIGKILLs the *current* process — the
+    worker-suicide mode of the dist chaos matrix.  (``"nan"`` specs only
+    fire through the op-wrapper surface, never a plain marker.)
+    """
     plan = _ACTIVE
     if plan is not None:
-        plan.visit(site)
+        spec = plan.visit(site)
+        if spec is not None and spec.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def faultpoint_signal(site: str):
+    """Like :func:`faultpoint`, but caller-delivered kinds are *returned*.
+
+    ``"error"``/``"latency"`` specs still raise/sleep inside the call; a
+    fired ``"kill"`` (or ``"nan"``) spec comes back to the caller, which
+    decides how to deliver it — the dist supervisor SIGKILLs the worker
+    the visited event belongs to.  Returns ``None`` when nothing fired.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        return plan.visit(site)
+    return None
 
 
 def chaos_active() -> bool:

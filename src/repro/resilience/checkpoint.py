@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import re
+import time
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,6 +48,8 @@ from ..utils.atomicio import (
     verify_checksum_sidecar,
 )
 from .chaos import faultpoint
+from .errors import InjectedFault
+from .retry import RetryPolicy, call_with_retry
 
 __all__ = [
     "CheckpointConfig",
@@ -54,6 +57,7 @@ __all__ = [
     "CheckpointManager",
     "save_checkpoint",
     "load_checkpoint",
+    "SAVE_RETRY_POLICY",
 ]
 
 _CKPT_PATTERN = re.compile(r"^ckpt_(\d{6})\.npz$")
@@ -84,6 +88,21 @@ class TrainingCheckpoint:
     model_state: dict[str, np.ndarray] = field(default_factory=dict)
     optimizer_state: dict = field(default_factory=dict)
     rng_state: dict | None = None
+    extra: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+#: Retry policy around the checkpoint's atomic write: transient filesystem
+#: errors (and injected ``checkpoint.save`` faults) are retried with
+#: decorrelated jitter so a flaky disk doesn't kill a multi-hour run;
+#: :class:`CheckpointCorruptError` is fatal — retrying cannot make a
+#: malformed payload well-formed.
+SAVE_RETRY_POLICY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.02,
+    max_delay=0.5,
+    retryable=(OSError, TimeoutError, InjectedFault),
+    fatal=(CheckpointCorruptError,),
+)
 
 
 def save_checkpoint(
@@ -95,9 +114,19 @@ def save_checkpoint(
     losses: "list[float]",
     rng: np.random.Generator | None = None,
     fsync: bool = True,
+    extra: "dict[str, np.ndarray] | None" = None,
+    retry_policy: RetryPolicy = SAVE_RETRY_POLICY,
+    sleep=time.sleep,
 ) -> Path:
-    """Write one checkpoint archive + checksum sidecar atomically."""
-    faultpoint("checkpoint.save")
+    """Write one checkpoint archive + checksum sidecar atomically.
+
+    The write is retried under ``retry_policy`` (see
+    :data:`SAVE_RETRY_POLICY`); the archive bytes are assembled once, so a
+    retry re-runs only the atomic write itself.  ``extra`` arrays are
+    stored under ``extra/<key>`` and come back on
+    :attr:`TrainingCheckpoint.extra` — the dist trainer keeps per-worker
+    identity (rank, world size, RNG stream) there.
+    """
     arrays: dict[str, np.ndarray] = {
         VERSION_KEY: np.array(FORMAT_VERSION, dtype=np.int64),
         "meta/epoch": np.array(epoch, dtype=np.int64),
@@ -116,7 +145,16 @@ def save_checkpoint(
     arrays["optim/__scalars__"] = np.array(json.dumps(scalars))
     if rng is not None:
         arrays["rng/state"] = np.array(json.dumps(rng.bit_generator.state))
-    return atomic_savez(Path(path), arrays, fsync=fsync, checksum=True)
+    for key, value in (extra or {}).items():
+        arrays[f"extra/{key}"] = np.asarray(value)
+
+    def write() -> Path:
+        faultpoint("checkpoint.save")
+        return atomic_savez(Path(path), arrays, fsync=fsync, checksum=True)
+
+    return call_with_retry(
+        write, policy=retry_policy, site="checkpoint.save", sleep=sleep
+    )
 
 
 def load_checkpoint(path: str | Path) -> TrainingCheckpoint:
@@ -163,6 +201,11 @@ def load_checkpoint(path: str | Path) -> TrainingCheckpoint:
         rng_state = (
             json.loads(str(arrays["rng/state"])) if "rng/state" in arrays else None
         )
+        extra = {
+            name[len("extra/") :]: array
+            for name, array in arrays.items()
+            if name.startswith("extra/")
+        }
     except (KeyError, ValueError, json.JSONDecodeError) as error:
         raise CheckpointCorruptError(
             path, f"malformed payload ({type(error).__name__}: {error})"
@@ -173,6 +216,7 @@ def load_checkpoint(path: str | Path) -> TrainingCheckpoint:
         model_state=model_state,
         optimizer_state=optimizer_state,
         rng_state=rng_state,
+        extra=extra,
     )
 
 
@@ -208,6 +252,9 @@ class CheckpointManager:
         epoch: int,
         losses: "list[float]",
         rng: np.random.Generator | None = None,
+        extra: "dict[str, np.ndarray] | None" = None,
+        retry_policy: RetryPolicy = SAVE_RETRY_POLICY,
+        sleep=time.sleep,
     ) -> Path:
         """Write epoch ``epoch``'s checkpoint and rotate old ones."""
         path = save_checkpoint(
@@ -218,6 +265,9 @@ class CheckpointManager:
             losses=losses,
             rng=rng,
             fsync=self.config.fsync,
+            extra=extra,
+            retry_policy=retry_policy,
+            sleep=sleep,
         )
         self._rotate()
         self._log("checkpoint.saved", epoch=epoch, path=str(path))
@@ -236,17 +286,27 @@ class CheckpointManager:
         renamed to ``<name>.corrupt`` (sidecar too) and the next-newest is
         tried — so one torn or bit-rotted file degrades to "resume from
         the previous epoch", not "restart from scratch".
+
+        Safe against concurrent writers sharing the directory: a file that
+        vanishes between listing and loading (rotated away by a peer) is
+        skipped without quarantine — absence is not corruption — and a
+        quarantine rename that loses a race is ignored.
         """
         for epoch in reversed(self.epochs_on_disk()):
             path = self.path_for(epoch)
             try:
                 return path, load_checkpoint(path)
+            except FileNotFoundError:
+                continue  # rotated away by a concurrent writer; not corrupt
             except CheckpointCorruptError as error:
                 quarantined = path.with_name(path.name + ".corrupt")
-                path.replace(quarantined)
-                sidecar = checksum_sidecar_path(path)
-                if sidecar.exists():
-                    sidecar.replace(sidecar.with_name(sidecar.name + ".corrupt"))
+                try:
+                    path.replace(quarantined)
+                    sidecar = checksum_sidecar_path(path)
+                    if sidecar.exists():
+                        sidecar.replace(sidecar.with_name(sidecar.name + ".corrupt"))
+                except OSError:
+                    continue  # a peer quarantined or rotated it first
                 self._log(
                     "checkpoint.quarantined",
                     epoch=epoch,

@@ -37,7 +37,14 @@ import numpy as np
 
 from .errors import InjectedFault, RetryBudgetExceeded
 
-__all__ = ["RetryPolicy", "retry", "call_with_retry", "DEFAULT_IO_POLICY"]
+__all__ = [
+    "RetryPolicy",
+    "retry",
+    "call_with_retry",
+    "next_backoff",
+    "record_retry",
+    "DEFAULT_IO_POLICY",
+]
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,21 @@ class RetryPolicy:
 DEFAULT_IO_POLICY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.25)
 
 
+def next_backoff(
+    rng: np.random.Generator,
+    base_delay: float,
+    max_delay: float,
+    previous: float,
+) -> float:
+    """One decorrelated-jitter step: ``min(cap, uniform(base, 3 * prev))``.
+
+    Shared by :func:`call_with_retry` and the worker supervisor
+    (:mod:`repro.dist.supervisor`), so every backoff in the repo follows
+    the same AWS-variant schedule and the same test envelope.
+    """
+    return min(max_delay, float(rng.uniform(base_delay, previous * 3.0)))
+
+
 def call_with_retry(
     fn,
     *args,
@@ -97,15 +119,13 @@ def call_with_retry(
                 raise
             last_error = error
             elapsed = clock() - started
-            _record_retry(site, attempt, error)
+            record_retry(site, attempt, error)
             if attempt >= policy.max_attempts or (
                 policy.deadline is not None and elapsed >= policy.deadline
             ):
                 raise RetryBudgetExceeded(site, attempt, elapsed) from error
             # Decorrelated jitter: next delay drawn from [base, 3 * prev].
-            delay = min(
-                policy.max_delay, float(rng.uniform(policy.base_delay, delay * 3.0))
-            )
+            delay = next_backoff(rng, policy.base_delay, policy.max_delay, delay)
             if policy.deadline is not None:
                 delay = min(delay, max(0.0, policy.deadline - (clock() - started)))
             if delay > 0:
@@ -115,7 +135,13 @@ def call_with_retry(
     ) from last_error
 
 
-def _record_retry(site: str, attempt: int, error: BaseException) -> None:
+def record_retry(site: str, attempt: int, error: BaseException) -> None:
+    """Count one retry in ``resilience.retries{site=}`` + the run log.
+
+    Public so out-of-band retry loops (the dist sweep scheduler requeueing
+    a cell after a worker death) account through the same counter the
+    in-band :func:`call_with_retry` uses.
+    """
     from ..obs.metrics import get_registry
     from ..obs.runlog import get_run_logger
 

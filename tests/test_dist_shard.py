@@ -1,0 +1,127 @@
+"""Sharded generation tests: determinism, durability, resume, repair."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import WorldConfig
+from repro.dist import DistError, ShardPlan, generate_shard, generate_shards, load_population
+from repro.dist.shard import manifest_path, shard_path
+from repro.obs import get_registry
+from repro.resilience import FaultSpec, chaos
+from repro.utils.atomicio import checksum_sidecar_path, verify_checksum_sidecar
+
+pytestmark = pytest.mark.dist
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ShardPlan(
+        world=WorldConfig(num_users=50, num_items=40, num_topics=4, seed=3),
+        num_shards=3,
+    )
+
+
+class TestShardPlan:
+    def test_validation(self):
+        world = WorldConfig(num_users=2, num_items=10, num_topics=3, seed=0)
+        with pytest.raises(ValueError):
+            ShardPlan(world=world, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardPlan(world=world, num_shards=3)  # more shards than users
+
+    def test_sizes_and_offsets_partition_the_population(self, plan):
+        sizes = plan.shard_sizes()
+        offsets = plan.shard_offsets()
+        assert sum(sizes) == plan.world.num_users
+        assert sizes == [17, 17, 16]  # first num_users % S shards one larger
+        assert offsets == [0, 17, 34]
+
+
+class TestGenerate:
+    def test_index_bounds(self, plan, tmp_path):
+        with pytest.raises(ValueError):
+            generate_shard(plan, 3, tmp_path)
+
+    def test_shards_are_deterministic_and_checksummed(self, plan, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        generate_shards(a, plan)
+        generate_shards(b, plan)
+        for index in range(plan.num_shards):
+            path_a, path_b = shard_path(a, index), shard_path(b, index)
+            assert verify_checksum_sidecar(path_a) is True
+            assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_concat_matches_plan_layout(self, plan, tmp_path):
+        generate_shards(tmp_path, plan)
+        population = load_population(tmp_path)
+        assert population.num_users == plan.world.num_users
+        # rows of theta are probability distributions, the hidden rho in [0,1]
+        assert np.allclose(population.topic_preference.sum(axis=1), 1.0)
+        assert (population.diversity_weight >= 0).all()
+        assert (population.diversity_weight <= 1).all()
+        # a single shard re-generated standalone lands at its plan offset
+        single = tmp_path / "single"
+        generate_shard(plan, 1, single)
+        with np.load(shard_path(single, 1)) as archive:
+            offset = plan.shard_offsets()[1]
+            size = plan.shard_sizes()[1]
+            assert np.array_equal(
+                archive["features"],
+                population.features[offset : offset + size],
+            )
+
+    def test_resume_regenerates_only_missing_or_corrupt(self, plan, tmp_path):
+        first = generate_shards(tmp_path, plan)
+        assert first["generated"] == plan.num_shards
+        reference = load_population(tmp_path)
+        shard_path(tmp_path, 0).unlink()  # lost
+        shard_path(tmp_path, 2).write_bytes(b"torn write")  # corrupt
+        second = generate_shards(tmp_path, plan)
+        assert second["generated"] == 2
+        repaired = load_population(tmp_path)
+        assert np.array_equal(reference.features, repaired.features)
+        assert np.array_equal(reference.latent, repaired.latent)
+
+    def test_manifest_records_every_shard_with_digest(self, plan, tmp_path):
+        manifest = generate_shards(tmp_path, plan)
+        on_disk = json.loads(manifest_path(tmp_path).read_text())
+        assert on_disk == manifest
+        assert [entry["index"] for entry in manifest["shards"]] == [0, 1, 2]
+        for entry in manifest["shards"]:
+            sidecar = checksum_sidecar_path(tmp_path / entry["path"])
+            assert entry["sha256"] == sidecar.read_text().split()[0]
+
+    def test_write_faultpoint_is_retried(self, plan, tmp_path):
+        retries = get_registry().counter(
+            "resilience.retries", site="dist.shard.write"
+        )
+        before = retries.value
+        slept = []
+        with chaos(FaultSpec("dist.shard.write", times=2)) as chaos_plan:
+            generate_shard(plan, 0, tmp_path, sleep=slept.append)
+            assert chaos_plan.fires("dist.shard.write") == 2
+        assert verify_checksum_sidecar(shard_path(tmp_path, 0)) is True
+        assert retries.value - before == 2
+        assert len(slept) == 2  # backoff went through the injectable sleeper
+
+
+class TestLoad:
+    def test_missing_manifest_is_classified(self, tmp_path):
+        with pytest.raises(DistError, match="manifest"):
+            load_population(tmp_path)
+
+    def test_corrupt_shard_is_refused_by_name(self, plan, tmp_path):
+        generate_shards(tmp_path, plan)
+        shard_path(tmp_path, 1).write_bytes(b"bitrot")
+        with pytest.raises(DistError, match="shard 1"):
+            load_population(tmp_path)
+
+    def test_missing_shard_is_refused(self, plan, tmp_path):
+        generate_shards(tmp_path, plan)
+        shard_path(tmp_path, 2).unlink()
+        with pytest.raises(DistError, match="shard 2"):
+            load_population(tmp_path)

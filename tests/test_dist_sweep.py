@@ -1,0 +1,174 @@
+"""Kill-safe eval sweep tests: grid, durability, chaos requeue, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.trainer import TrainConfig
+from repro.dist import (
+    DistError,
+    RestartPolicy,
+    SweepCell,
+    run_sweep,
+    table2_cells,
+)
+from repro.dist.sweep import _cell_path, sweep_manifest_path
+from repro.eval import ExperimentConfig
+from repro.obs import MemorySink, RunLogger, set_run_logger
+from repro.resilience import FaultSpec, chaos
+from repro.utils.atomicio import checksum_sidecar_path, verify_checksum_sidecar
+
+pytestmark = [pytest.mark.dist, pytest.mark.slow]
+
+NO_SLEEP = lambda seconds: None  # noqa: E731 - sweeps never really wait
+
+# The cheapest real cells: mmr needs no re-ranker training and svmrank is
+# the fastest initial ranker, so each cell is bundle + evaluate only.
+BASE = ExperimentConfig(
+    dataset="taobao",
+    scale="tiny",
+    tradeoff=0.5,
+    initial_ranker="svmrank",
+    list_length=10,
+    num_train_requests=40,
+    num_test_requests=20,
+    ranker_interactions=400,
+    hidden=8,
+    train=TrainConfig(epochs=1, batch_size=32),
+    seed=0,
+)
+CELLS = table2_cells(
+    models=("mmr",), datasets=("taobao",), tradeoffs=(0.5, 1.0), base=BASE
+)
+
+
+class TestTable2Cells:
+    def test_default_grid_shape_and_ids(self):
+        cells = table2_cells()
+        assert len(cells) == 6  # 2 datasets x 3 tradeoffs x 1 model
+        ids = [cell.cell_id for cell in cells]
+        assert len(set(ids)) == len(ids)
+        assert "taobao-lam0.5-rapid-pro" in ids
+        assert "movielens-lam1-rapid-pro" in ids  # %g: 1.0 -> "1"
+
+    def test_base_config_carries_everything_the_grid_does_not_vary(self):
+        cells = table2_cells(models=("mmr",), datasets=("taobao",), base=BASE)
+        for cell in cells:
+            assert cell.config.scale == "tiny"
+            assert cell.config.initial_ranker == "svmrank"
+            assert cell.config.dataset == "taobao"
+
+
+class TestValidation:
+    def test_empty_sweep_is_refused(self, tmp_path):
+        with pytest.raises(DistError, match="at least one cell"):
+            run_sweep([], tmp_path)
+
+    def test_duplicate_cell_ids_are_refused(self, tmp_path):
+        cell = SweepCell(cell_id="dup", model="mmr", config=BASE)
+        with pytest.raises(DistError, match="duplicate"):
+            run_sweep([cell, cell], tmp_path)
+
+
+@pytest.fixture(scope="module")
+def sweep_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("sweep")
+
+
+@pytest.fixture(scope="module")
+def chaos_run(sweep_dir):
+    """One sweep over CELLS with a parent-side kill on the first dispatch."""
+    sink = MemorySink()
+    previous = set_run_logger(RunLogger(sink))
+    try:
+        with chaos(
+            FaultSpec("dist.sweep.cell", kind="kill", times=1)
+        ) as plan:
+            result = run_sweep(
+                CELLS,
+                sweep_dir,
+                num_workers=2,
+                policy=RestartPolicy(base_delay=0.0, max_delay=0.0),
+                sleep=NO_SLEEP,
+            )
+            fires = plan.fires("dist.sweep.cell")
+    finally:
+        set_run_logger(previous)
+    return result, fires, sink
+
+
+class TestChaosSweep:
+    def test_kill_is_requeued_and_accounted(self, chaos_run):
+        result, fires, _ = chaos_run
+        assert fires == 1
+        assert result.restarts == fires
+        assert result.degraded == []
+
+    def test_every_cell_produced_metrics(self, chaos_run):
+        result, _, _ = chaos_run
+        assert sorted(result.results) == sorted(c.cell_id for c in CELLS)
+        for cell in CELLS:
+            record = result.results[cell.cell_id]
+            assert record["model"] == "mmr"
+            assert record["metrics"]  # non-empty metric dict
+            assert all(
+                isinstance(v, float) for v in record["metrics"].values()
+            )
+
+    def test_cells_are_durable_with_verified_sidecars(self, chaos_run, sweep_dir):
+        result, _, _ = chaos_run
+        for cell in CELLS:
+            path = _cell_path(sweep_dir, cell.cell_id)
+            assert verify_checksum_sidecar(path) is True
+            assert json.loads(path.read_text()) == result.results[cell.cell_id]
+
+    def test_manifest_lists_every_cell_with_digest(self, chaos_run, sweep_dir):
+        result, _, _ = chaos_run
+        manifest = json.loads(sweep_manifest_path(sweep_dir).read_text())
+        assert result.manifest_path == sweep_manifest_path(sweep_dir)
+        assert manifest["version"] == 1
+        assert [e["cell_id"] for e in manifest["cells"]] == sorted(result.results)
+        for entry in manifest["cells"]:
+            sidecar = checksum_sidecar_path(sweep_dir / entry["path"])
+            assert entry["sha256"] == sidecar.read_text().split()[0]
+            assert entry["status"] == "done"
+
+    def test_runlog_bookends_the_sweep(self, chaos_run):
+        _, fires, sink = chaos_run
+        start = [r for r in sink.records if r["event"] == "dist.sweep.start"]
+        done = [r for r in sink.records if r["event"] == "dist.sweep.done"]
+        assert start[0]["cells"] == len(CELLS) and start[0]["recovered"] == 0
+        assert done[0]["cells"] == len(CELLS) and done[0]["restarts"] == fires
+
+    def test_workers_ship_cell_spans_home(self, chaos_run):
+        result, _, _ = chaos_run
+        names = {record["name"] for record in result.span_records}
+        assert any(name.startswith("dist.sweep.cell:") for name in names)
+
+
+class TestResume:
+    def test_second_run_recovers_everything_without_recomputing(
+        self, chaos_run, sweep_dir
+    ):
+        first, _, _ = chaos_run
+        sink = MemorySink()
+        previous = set_run_logger(RunLogger(sink))
+        try:
+            second = run_sweep(CELLS, sweep_dir, num_workers=2, sleep=NO_SLEEP)
+        finally:
+            set_run_logger(previous)
+        assert second.results == first.results
+        assert second.restarts == 0
+        start = [r for r in sink.records if r["event"] == "dist.sweep.start"]
+        assert start[0]["recovered"] == len(CELLS)
+        assert start[0]["outstanding"] == 0
+
+    def test_a_lost_cell_is_recomputed_alone(self, chaos_run, sweep_dir):
+        first, _, _ = chaos_run
+        victim = CELLS[0].cell_id
+        _cell_path(sweep_dir, victim).unlink()
+        result = run_sweep(CELLS, sweep_dir, num_workers=1, sleep=NO_SLEEP)
+        assert result.results == first.results  # deterministic recompute
+        assert verify_checksum_sidecar(_cell_path(sweep_dir, victim)) is True

@@ -132,3 +132,36 @@ class TestSnapshots:
     def test_snapshot_exporter_rejects_bad_interval(self, tmp_path):
         with pytest.raises(ValueError):
             SnapshotExporter(tmp_path / "m.json", interval_s=0.0)
+
+
+class TestSnapshotExporterMultiProcess:
+    """Mirrors JsonlSink's ownership contract: refuse or fan out per pid."""
+
+    def test_foreign_pid_write_is_refused_without_per_pid(self, tmp_path):
+        exporter = SnapshotExporter(
+            tmp_path / "metrics.json", interval_s=60.0, registry=MetricsRegistry()
+        )
+        exporter._owner_pid += 1  # what a forked child would observe
+        with pytest.raises(RuntimeError, match="per_pid=True"):
+            exporter._write()
+
+    def test_per_pid_exporter_rebinds_to_its_own_file(self, tmp_path):
+        import os
+
+        from repro.obs.runlog import per_pid_path
+
+        registry = MetricsRegistry()
+        registry.counter("dist.steps").inc(5)
+        exporter = SnapshotExporter(
+            tmp_path / "metrics.json",
+            interval_s=60.0,
+            registry=registry,
+            per_pid=True,
+        )
+        assert exporter.path == per_pid_path(tmp_path / "metrics.json")
+        exporter._owner_pid -= 1  # simulate inheriting across a fork
+        exporter._write()  # rebinds instead of raising
+        assert exporter._owner_pid == os.getpid()
+        assert exporter.path == per_pid_path(tmp_path / "metrics.json")
+        snapshot = json.loads(exporter.path.read_text())
+        assert any(m["name"] == "dist.steps" for m in snapshot["metrics"])

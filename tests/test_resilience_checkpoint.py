@@ -261,3 +261,142 @@ class TestKillResumeParity:
         manager.path_for(1).write_bytes(b"bit rot")  # corrupt the newest
         _, losses = _train(training_setup, epochs=3, checkpoint=ckpt)
         assert losses == reference_losses
+
+
+class TestSaveRetry:
+    """The atomic write inside save_checkpoint runs under SAVE_RETRY_POLICY."""
+
+    def test_injected_save_fault_is_retried_through_the_counter(
+        self, training_setup, tmp_path
+    ):
+        from repro.obs import get_registry
+
+        model, optimizer, rng = _fresh(training_setup)
+        retries = get_registry().counter(
+            "resilience.retries", site="checkpoint.save"
+        )
+        before = retries.value
+        slept = []
+        with chaos(FaultSpec("checkpoint.save", times=2)) as plan:
+            path = save_checkpoint(
+                tmp_path / "ckpt.npz",
+                model=model,
+                optimizer=optimizer,
+                epoch=0,
+                losses=[1.0],
+                rng=rng,
+                fsync=False,
+                sleep=slept.append,
+            )
+            assert plan.fires("checkpoint.save") == 2
+        assert verify_checksum_sidecar(path) is True
+        assert retries.value - before == 2
+        assert len(slept) == 2  # backoff went through the injectable sleeper
+
+    def test_strict_policy_raises_immediately(self, training_setup, tmp_path):
+        from repro.resilience import InjectedFault, RetryPolicy
+
+        model, optimizer, _ = _fresh(training_setup)
+        slept = []
+        strict = RetryPolicy(max_attempts=5, fatal=(InjectedFault,))
+        with chaos(FaultSpec("checkpoint.save", times=None)):
+            with pytest.raises(InjectedFault):
+                save_checkpoint(
+                    tmp_path / "ckpt.npz",
+                    model=model,
+                    optimizer=optimizer,
+                    epoch=0,
+                    losses=[1.0],
+                    fsync=False,
+                    retry_policy=strict,
+                    sleep=slept.append,
+                )
+        assert slept == []  # fatal: no backoff, no second attempt
+
+    def test_extra_arrays_round_trip(self, training_setup, tmp_path):
+        model, optimizer, rng = _fresh(training_setup)
+        extra = {
+            "rank": np.array(3, dtype=np.int64),
+            "gain": np.arange(4.0),
+        }
+        path = save_checkpoint(
+            tmp_path / "ckpt.npz",
+            model=model,
+            optimizer=optimizer,
+            epoch=1,
+            losses=[0.5, 0.4],
+            rng=rng,
+            fsync=False,
+            extra=extra,
+        )
+        checkpoint = load_checkpoint(path)
+        assert int(checkpoint.extra["rank"]) == 3
+        assert np.array_equal(checkpoint.extra["gain"], np.arange(4.0))
+
+
+class TestConcurrentWriters:
+    """Two processes share one checkpoint directory (the dist layout's
+    failure mode if per-rank isolation is ever misconfigured): rotation
+    stays bounded, nothing healthy is quarantined, latest() still loads."""
+
+    def test_rotation_and_latest_survive_two_writers(
+        self, training_setup, tmp_path
+    ):
+        import multiprocessing as mp
+
+        config = CheckpointConfig(
+            directory=tmp_path, keep_last=3, fsync=False
+        )
+
+        def writer(parity: int) -> None:
+            model, optimizer, _ = _fresh(training_setup)
+            manager = CheckpointManager(config)
+            for epoch in range(parity, 16, 2):
+                manager.save(
+                    model=model,
+                    optimizer=optimizer,
+                    epoch=epoch,
+                    losses=[0.5] * (epoch + 1),
+                )
+
+        ctx = mp.get_context("fork")
+        procs = [ctx.Process(target=writer, args=(parity,)) for parity in (0, 1)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+        assert [proc.exitcode for proc in procs] == [0, 0]
+
+        manager = CheckpointManager(config)
+        epochs = manager.epochs_on_disk()
+        # the globally-last rotation saw (nearly) the final directory:
+        # keep_last survivors, plus at most one straggler from a racing
+        # final write
+        assert 1 <= len(epochs) <= config.keep_last + 1
+        # every surviving archive is healthy — rotation never tore one
+        for epoch in epochs:
+            assert verify_checksum_sidecar(manager.path_for(epoch)) is True
+        # and none were quarantined: absence-vs-corruption was classified
+        assert not list(tmp_path.glob("*.corrupt"))
+        assert not [
+            p for p in tmp_path.iterdir() if ".tmp" in p.name
+        ]  # no atomic-write droppings
+        path, checkpoint = manager.latest()
+        assert checkpoint.epoch == max(epochs)
+        assert len(checkpoint.losses) == checkpoint.epoch + 1
+
+    def test_quarantine_still_works_after_concurrent_history(
+        self, training_setup, tmp_path
+    ):
+        model, optimizer, _ = _fresh(training_setup)
+        manager = CheckpointManager(
+            CheckpointConfig(directory=tmp_path, keep_last=3, fsync=False)
+        )
+        for epoch in range(3):
+            manager.save(
+                model=model, optimizer=optimizer, epoch=epoch, losses=[0.5]
+            )
+        manager.path_for(2).write_bytes(b"torn by a racing writer")
+        path, checkpoint = manager.latest()
+        assert checkpoint.epoch == 1  # fell back one epoch
+        assert (tmp_path / (manager.path_for(2).name + ".corrupt")).exists()

@@ -211,3 +211,28 @@ class TestDecorator:
         with pytest.raises(RetryBudgetExceeded) as excinfo:
             wobbly()
         assert "wobbly" in excinfo.value.site
+
+
+class TestDeadlineMidBackoff:
+    def test_deadline_expiring_mid_backoff_keeps_cause_and_attempt_count(self):
+        """The jittered backoff draw is clipped to what the deadline has
+        left; when the clipped sleep lands exactly on the deadline, the
+        next failure exhausts the budget — and the raised error still
+        carries the original classified error plus the attempt count."""
+        clock = FakeClock()
+        error = OSError("NFS wobble")
+        flaky = Flaky(10, error)
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=5.0, max_delay=10.0, deadline=2.0
+        )
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            call_with_retry(
+                flaky, policy=policy, site="nfs", sleep=clock.sleep, clock=clock
+            )
+        # the 5-10s jitter draw was clipped to the 2s the deadline had left
+        assert clock.now == pytest.approx(2.0)
+        assert flaky.calls == 2
+        assert excinfo.value.attempts == 2
+        assert "2 attempt(s)" in str(excinfo.value)
+        assert excinfo.value.__cause__ is error
+        assert policy.classify(excinfo.value.__cause__) == "retryable"

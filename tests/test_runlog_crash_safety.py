@@ -85,3 +85,46 @@ class TestJsonlSink:
         # Readable *before* close: the flush+fsync already landed it.
         assert read_jsonl(path)[0]["value"] == 7
         logger.close()
+
+
+class TestMultiProcessSafety:
+    """One JsonlSink, many pids: refuse to share a file, or fan out per pid."""
+
+    def test_per_pid_path_inserts_suffix_before_extension(self):
+        from repro.obs.runlog import per_pid_path
+
+        assert per_pid_path("log.jsonl", 42) == Path("log.pid42.jsonl")
+        assert per_pid_path(Path("d/log"), 7) == Path("d/log.pid7")
+
+    def test_foreign_pid_write_is_refused_without_per_pid(self, tmp_path):
+        sink = JsonlSink(tmp_path / "run.jsonl")
+        sink.write({"event": "ok"})
+        sink._owner_pid += 1  # what a forked child would observe
+        with pytest.raises(RuntimeError, match="per_pid=True"):
+            sink.write({"event": "torn"})
+
+    def test_per_pid_sink_rebinds_in_a_real_forked_child(self, tmp_path):
+        import multiprocessing as mp
+
+        from repro.obs.runlog import per_pid_path
+
+        sink = JsonlSink(tmp_path / "run.jsonl", per_pid=True)
+        sink.write({"event": "parent"})
+
+        def child() -> None:
+            sink.write({"event": "child"})  # inherited object, new pid
+            sink.close()
+
+        proc = mp.get_context("fork").Process(target=child)
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        files = sorted(tmp_path.glob("run.pid*.jsonl"))
+        assert len(files) == 2  # one physical file per process
+        assert per_pid_path(tmp_path / "run.jsonl") in files
+        events = {
+            record["event"]
+            for file in files
+            for record in read_jsonl(file)
+        }
+        assert events == {"parent", "child"}
